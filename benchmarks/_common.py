@@ -1,0 +1,59 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables/figures and
+prints the same rows/series the paper reports (see DESIGN.md §4 for
+the experiment index).  Output goes both to the terminal (so
+``pytest benchmarks/ --benchmark-only | tee …`` captures it) and to
+``benchmarks/results/<name>.txt``.
+
+Environment knobs:
+
+* ``REPRO_RUNS`` — seeded repetitions per data point (default 2 for
+  benchmarks; the paper averages 30).
+* ``REPRO_BENCH_DURATION`` — simulated seconds per run (default 60;
+  the paper uses 100).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_runs() -> int:
+    """Seeded repetitions per data point."""
+    return int(os.environ.get("REPRO_RUNS", "2"))
+
+
+def bench_duration() -> float:
+    """Simulated duration per run."""
+    return float(os.environ.get("REPRO_BENCH_DURATION", "60"))
+
+
+def paper_config(**overrides) -> ExperimentConfig:
+    """The paper's §5.2 defaults, with the bench duration applied."""
+    base = dict(duration=bench_duration())
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def emit(capsys, name: str, text: str) -> None:
+    """Print a result table to the real terminal and save it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print(f"\n{text}\n")
+
+
+def once(benchmark, fn):
+    """Run a regeneration function exactly once under pytest-benchmark.
+
+    The interesting output is the figure data, not the wall-clock of a
+    repeated micro-benchmark, so one round is enough — the benchmark
+    fixture still records the elapsed time for the summary table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,168 @@
+"""Ablations over ALERT's design knobs (DESIGN.md §5).
+
+* **k / H tradeoff** — larger destination zones (smaller H) raise the
+  anonymity set but cost broadcast coverage; more partitions (larger
+  H) buy route anonymity at extra hops (§5.4's "optimal tradeoff
+  point" discussion).
+* **m (partial multicast fan-out)** — §3.3's coverage formula vs
+  observable recipient-set size.
+* **notify-and-go** — source anonymity set vs the cover-traffic bill.
+* **zone flood / promiscuous delivery** — the delivery machinery
+  backing the final local broadcast.
+"""
+
+from __future__ import annotations
+
+from repro.core.intersection_defense import coverage_percent
+from repro.experiments.runner import aggregate, run_many
+from repro.experiments.tables import format_kv_block, format_series_table
+
+from _common import bench_runs, emit, once, paper_config
+
+
+def regen_h_tradeoff():
+    hs = [3, 4, 5, 6]
+    hops, rfs, zone_pop, delivery = [], [], [], []
+    for h in hs:
+        results = run_many(
+            paper_config(protocol="ALERT", h_override=h, duration=50.0),
+            runs=bench_runs(),
+        )
+        hops.append(aggregate([r.mean_hops for r in results])[0])
+        rfs.append(
+            aggregate(
+                [r.metrics.mean_rf_count(delivered_only=False) for r in results]
+            )[0]
+        )
+        pops = []
+        for r in results:
+            b = r.metrics.counters.get("zone_broadcasts", 0)
+            if b:
+                pops.append(r.metrics.counters.get("zone_population", 0) / b)
+        zone_pop.append(aggregate(pops)[0] if pops else float("nan"))
+        delivery.append(aggregate([r.delivery_rate for r in results])[0])
+    return (
+        hops,
+        rfs,
+        zone_pop,
+        format_series_table(
+            "Ablation — H (partition count): route anonymity vs cost",
+            "H",
+            hs,
+            {
+                "hops/packet": hops,
+                "#RF": rfs,
+                "zone population (k)": zone_pop,
+                "delivery rate": delivery,
+            },
+            digits=2,
+        ),
+    )
+
+
+def regen_m_tradeoff():
+    ms = [1, 2, 3, 4, 6]
+    k = 6
+    rows = {
+        f"m={m}: coverage with p_c=1 / observable set": (
+            f"{coverage_percent(m, k, 1.0):.2f} / {m}"
+        )
+        for m in ms
+    }
+    return format_kv_block(
+        "Ablation — m (two-step multicast fan-out), k=6 (§3.3 formula)",
+        rows,
+    )
+
+
+def regen_notify_tradeoff():
+    rows = {}
+    for enabled in (False, True):
+        results = run_many(
+            paper_config(
+                protocol="ALERT",
+                duration=40.0,
+                alert_options={"notify_and_go": enabled},
+            ),
+            runs=bench_runs(),
+        )
+        label = "on" if enabled else "off"
+        rows[f"notify {label}: delivery"] = aggregate(
+            [r.delivery_rate for r in results]
+        )[0]
+        rows[f"notify {label}: latency (s)"] = aggregate(
+            [r.mean_latency for r in results]
+        )[0]
+        covers = aggregate(
+            [r.metrics.counters.get("cover_tx", 0.0) for r in results]
+        )[0]
+        rounds = aggregate(
+            [r.metrics.counters.get("notify_rounds", 0.0) for r in results]
+        )[0]
+        sets = aggregate(
+            [r.metrics.counters.get("notify_anonymity_set", 0.0) for r in results]
+        )[0]
+        rows[f"notify {label}: covers/packet"] = covers / max(rounds, 1)
+        rows[f"notify {label}: source anonymity set"] = sets / max(rounds, 1)
+    return rows, format_kv_block(
+        "Ablation — notify-and-go: source anonymity vs cover traffic", rows
+    )
+
+
+def regen_delivery_machinery():
+    rows = {}
+    for flood, promisc in ((True, True), (False, True), (True, False), (False, False)):
+        results = run_many(
+            paper_config(
+                protocol="ALERT",
+                duration=50.0,
+                destination_update=False,
+                speed=6.0,
+                alert_options={
+                    "zone_flood": flood,
+                    "promiscuous_destination": promisc,
+                },
+            ),
+            runs=bench_runs(),
+        )
+        label = f"flood={'y' if flood else 'n'} promisc={'y' if promisc else 'n'}"
+        rows[f"{label}: delivery"] = aggregate(
+            [r.delivery_rate for r in results]
+        )[0]
+    return rows, format_kv_block(
+        "Ablation — zone flood / promiscuous destination "
+        "(6 m/s, stale positions)",
+        rows,
+    )
+
+
+def test_ablation_h_tradeoff(benchmark, capsys):
+    hops, rfs, zone_pop, table = once(benchmark, regen_h_tradeoff)
+    emit(capsys, "ablation_h", table)
+    # More partitions → more RFs (anonymity) and smaller zones (less
+    # destination cover): both directions of the paper's tradeoff.
+    assert rfs[-1] > rfs[0]
+    assert zone_pop[0] > zone_pop[-1]
+
+
+def test_ablation_m_formula(benchmark, capsys):
+    table = once(benchmark, regen_m_tradeoff)
+    emit(capsys, "ablation_m", table)
+    assert coverage_percent(3, 6, 1.0) == 1.0
+
+
+def test_ablation_notify_and_go(benchmark, capsys):
+    rows, table = once(benchmark, regen_notify_tradeoff)
+    emit(capsys, "ablation_notify", table)
+    # Notify-and-go buys an η+1 anonymity set at a cover-traffic cost.
+    assert rows["notify on: source anonymity set"] > 1.5
+    assert rows["notify on: covers/packet"] > 0
+    assert rows["notify off: covers/packet"] == 0
+
+
+def test_ablation_delivery_machinery(benchmark, capsys):
+    rows, table = once(benchmark, regen_delivery_machinery)
+    emit(capsys, "ablation_delivery", table)
+    best = rows["flood=y promisc=y: delivery"]
+    worst = rows["flood=n promisc=n: delivery"]
+    assert best >= worst

@@ -1,0 +1,71 @@
+"""Fig. 7a/7b — analytical routing-node curves (§4.1, §4.2).
+
+Fig. 7a: expected number of *possible participating nodes* versus the
+number of partitions H, for 100 / 200 / 400 nodes on 1000 m × 1000 m
+(eq. 7).  The paper's observations: fast rise from H=1 to 2, then
+saturation near N/4.
+
+Fig. 7b: expected number of *random forwarders* versus H (eq. 10),
+an approximately linear trend.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import (
+    expected_participating_nodes,
+    expected_random_forwarders,
+)
+from repro.experiments.tables import format_series_table
+
+from _common import emit, once
+
+H_VALUES = list(range(1, 11))
+FIELD = 1000.0
+
+
+def regen_fig7a():
+    columns = {}
+    for n in (100, 200, 400):
+        rho = n / (FIELD * FIELD)
+        columns[f"N={n}"] = [
+            expected_participating_nodes(h, FIELD, FIELD, rho) for h in H_VALUES
+        ]
+    return format_series_table(
+        "Fig. 7a — expected possible participating nodes vs partitions (eq. 7)",
+        "H",
+        H_VALUES,
+        columns,
+        digits=2,
+    )
+
+
+def regen_fig7b():
+    series = [expected_random_forwarders(h) for h in H_VALUES]
+    return format_series_table(
+        "Fig. 7b — expected random forwarders vs partitions (eq. 10)",
+        "H",
+        H_VALUES,
+        {"E[#RF]": series},
+        digits=3,
+    )
+
+
+def test_fig7a_possible_participating_nodes(benchmark, capsys):
+    table = once(benchmark, regen_fig7a)
+    emit(capsys, "fig07a", table)
+    # Shape assertions mirroring the paper's observations.
+    rho = 200 / 1e6
+    values = [expected_participating_nodes(h, FIELD, FIELD, rho) for h in H_VALUES]
+    assert values == sorted(values)  # monotone rise
+    assert values[1] - values[0] > values[-1] - values[-2]  # saturating
+    assert abs(values[-1] - 200 / 4) / (200 / 4) < 0.35  # ≈ N/4
+
+
+def test_fig7b_random_forwarders(benchmark, capsys):
+    table = once(benchmark, regen_fig7b)
+    emit(capsys, "fig07b", table)
+    series = [expected_random_forwarders(h) for h in H_VALUES]
+    diffs = [b - a for a, b in zip(series, series[1:])]
+    assert all(d > 0 for d in diffs)  # increasing
+    # approximately linear: late increments are near-constant
+    assert abs(diffs[-1] - diffs[-2]) < 0.05

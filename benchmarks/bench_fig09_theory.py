@@ -1,0 +1,72 @@
+"""Fig. 9a/9b — analytical destination anonymity over time (§4.3).
+
+Fig. 9a: number of nodes remaining in the destination zone versus
+data-transmission duration, v = 2 m/s, densities 100/200/400 per km²
+(eq. 15, H = 5).
+
+Fig. 9b: the same at fixed density 200/km² for speeds 1/2/4 m/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.theory import remaining_nodes
+from repro.experiments.tables import format_series_table
+
+from _common import emit, once
+
+TIMES = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+FIELD = 1000.0
+H = 5
+
+
+def regen_fig9a():
+    columns = {}
+    for n in (100, 200, 400):
+        rho = n / (FIELD * FIELD)
+        columns[f"rho={n}/km^2"] = list(
+            remaining_nodes(np.array(TIMES), H, FIELD, 2.0, rho)
+        )
+    return format_series_table(
+        "Fig. 9a — analytical remaining nodes vs time (v=2 m/s, H=5, eq. 15)",
+        "t (s)",
+        TIMES,
+        columns,
+        digits=2,
+    )
+
+
+def regen_fig9b():
+    rho = 200 / (FIELD * FIELD)
+    columns = {
+        f"v={v} m/s": list(remaining_nodes(np.array(TIMES), H, FIELD, v, rho))
+        for v in (1.0, 2.0, 4.0)
+    }
+    return format_series_table(
+        "Fig. 9b — analytical remaining nodes vs time (rho=200/km^2, H=5)",
+        "t (s)",
+        TIMES,
+        columns,
+        digits=2,
+    )
+
+
+def test_fig9a_density_effect(benchmark, capsys):
+    table = once(benchmark, regen_fig9a)
+    emit(capsys, "fig09a", table)
+    t = np.array(TIMES)
+    lo = remaining_nodes(t, H, FIELD, 2.0, 100 / 1e6)
+    hi = remaining_nodes(t, H, FIELD, 2.0, 400 / 1e6)
+    assert np.all(hi > lo)          # denser → more remaining
+    assert np.all(np.diff(lo) < 0)  # decays over time
+
+
+def test_fig9b_speed_effect(benchmark, capsys):
+    table = once(benchmark, regen_fig9b)
+    emit(capsys, "fig09b", table)
+    t = np.array(TIMES[1:])
+    rho = 200 / 1e6
+    slow = remaining_nodes(t, H, FIELD, 1.0, rho)
+    fast = remaining_nodes(t, H, FIELD, 4.0, rho)
+    assert np.all(slow > fast)      # faster movement empties the zone

@@ -1,0 +1,100 @@
+"""Fig. 10a/10b — simulated actual participating nodes (§5.3).
+
+Fig. 10a: cumulative count of distinct nodes that actually forwarded
+packets of one S-D flow, versus the number of packets transmitted, for
+100 and 200 nodes.  The paper reports ALERT reaching ≈30 (100 nodes)
+and ≈45 (200 nodes) after 20 packets while GPSR (≈ ALARM ≈ AO2P) stays
+near the single-path size.
+
+Fig. 10b: the count after 20 packets versus network size 50-200
+(paper: GPSR 2-3 nodes, ALERT 13-20).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import aggregate, run_many
+from repro.experiments.tables import format_series_table
+
+from _common import bench_runs, emit, once, paper_config
+
+PACKET_MARKS = [4, 8, 12, 16, 20]
+
+
+def _cumulative_series(cfg):
+    """Mean cumulative-participants curve at PACKET_MARKS."""
+    results = run_many(
+        cfg, runs=bench_runs(), max_packets_per_pair=max(PACKET_MARKS)
+    )
+    out = []
+    for mark in PACKET_MARKS:
+        vals = []
+        for r in results:
+            series = r.metrics.cumulative_participants()
+            if series:
+                vals.append(series[min(mark, len(series)) - 1])
+        out.append(aggregate(vals)[0])
+    return out
+
+
+def _single_pair_cfg(protocol, n_nodes):
+    return paper_config(
+        protocol=protocol,
+        n_nodes=n_nodes,
+        n_pairs=1,
+        duration=45.0,
+        send_interval=2.0,
+    )
+
+
+def regen_fig10a():
+    columns = {}
+    for n in (100, 200):
+        for proto in ("ALERT", "GPSR"):
+            columns[f"{proto} N={n}"] = _cumulative_series(
+                _single_pair_cfg(proto, n)
+            )
+    return columns, format_series_table(
+        "Fig. 10a — cumulative actual participating nodes vs packets sent",
+        "packets",
+        PACKET_MARKS,
+        columns,
+        digits=1,
+    )
+
+
+def regen_fig10b():
+    sizes = [50, 100, 150, 200]
+    columns = {"ALERT": [], "GPSR": []}
+    for n in sizes:
+        for proto in ("ALERT", "GPSR"):
+            series = _cumulative_series(_single_pair_cfg(proto, n))
+            columns[proto].append(series[-1])
+    return columns, format_series_table(
+        "Fig. 10b — actual participating nodes after 20 packets vs network size",
+        "N",
+        sizes,
+        columns,
+        digits=1,
+    )
+
+
+def test_fig10a_cumulative_participants(benchmark, capsys):
+    columns, table = once(benchmark, regen_fig10a)
+    emit(capsys, "fig10a", table)
+    for n in (100, 200):
+        alert = columns[f"ALERT N={n}"]
+        gpsr = columns[f"GPSR N={n}"]
+        # ALERT accumulates many more distinct forwarders than GPSR...
+        assert alert[-1] > gpsr[-1] * 1.5
+        # ...and keeps growing with more packets.
+        assert alert[-1] > alert[0]
+    # More nodes → more participants for ALERT (paper's observation).
+    assert columns["ALERT N=200"][-1] > columns["ALERT N=100"][-1]
+
+
+def test_fig10b_participants_vs_size(benchmark, capsys):
+    columns, table = once(benchmark, regen_fig10b)
+    emit(capsys, "fig10b", table)
+    # GPSR stays small at every size; ALERT is several times larger.
+    assert max(columns["GPSR"]) < 12
+    assert all(a > g * 1.5 for a, g in zip(columns["ALERT"], columns["GPSR"]))

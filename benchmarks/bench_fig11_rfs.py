@@ -1,0 +1,51 @@
+"""Fig. 11 — simulated number of random forwarders vs partitions (§5.4).
+
+The average number of RFs per delivered packet, versus the partition
+count H.  The paper reports an approximately linear trend, consistent
+with the analytical Fig. 7b; both series are printed side by side.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import expected_random_forwarders
+from repro.experiments.runner import aggregate, run_many
+from repro.experiments.tables import format_series_table
+
+from _common import bench_runs, emit, once, paper_config
+
+H_VALUES = [1, 2, 3, 4, 5, 6]
+
+
+def regen_fig11():
+    sim_means, sim_cis, theory = [], [], []
+    for h in H_VALUES:
+        cfg = paper_config(
+            protocol="ALERT", h_override=h, duration=40.0, n_pairs=6
+        )
+        results = run_many(cfg, runs=bench_runs())
+        mean, ci = aggregate(
+            [r.metrics.mean_rf_count(delivered_only=False) for r in results]
+        )
+        sim_means.append(mean)
+        sim_cis.append(ci)
+        theory.append(expected_random_forwarders(h))
+    table = format_series_table(
+        "Fig. 11 — number of random forwarders vs partitions "
+        "(simulated, with eq. 10 for reference)",
+        "H",
+        H_VALUES,
+        {"simulated #RF": sim_means, "theory eq.10": theory},
+        cis={"simulated #RF": sim_cis},
+        digits=2,
+    )
+    return sim_means, table
+
+
+def test_fig11_rf_vs_partitions(benchmark, capsys):
+    sim_means, table = once(benchmark, regen_fig11)
+    emit(capsys, "fig11", table)
+    # Increasing trend with H (the paper's headline observation).
+    assert sim_means[-1] > sim_means[0]
+    # Broadly monotone: each step up in H does not lose more than noise.
+    for a, b in zip(sim_means, sim_means[1:]):
+        assert b >= a - 0.5

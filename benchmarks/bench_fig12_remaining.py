@@ -1,0 +1,50 @@
+"""Fig. 12 — simulated destination anonymity (§5.5).
+
+Number of nodes remaining in an H=5 destination zone over time, node
+speed 2 m/s, densities 100 / 150 / 200 per km².  The paper observes:
+more remaining nodes at higher density, decay over time, matching the
+analytical Fig. 9a.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import remaining_nodes
+from repro.analysis.zone_residency import measure_remaining_nodes
+from repro.experiments.tables import format_series_table
+
+from _common import emit, once
+
+TIMES = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+H = 5
+
+
+def regen_fig12():
+    columns = {}
+    for n in (100, 150, 200):
+        columns[f"rho={n}/km^2 (sim)"] = measure_remaining_nodes(
+            n, 2.0, H, TIMES, seed=n
+        )
+        columns[f"rho={n}/km^2 (eq.15)"] = [
+            float(remaining_nodes(t, H, 1000.0, 2.0, n / 1e6)) for t in TIMES
+        ]
+    return columns, format_series_table(
+        "Fig. 12 — remaining nodes in the destination zone vs time "
+        "(v=2 m/s, H=5; simulated and analytical)",
+        "t (s)",
+        TIMES,
+        columns,
+        digits=2,
+    )
+
+
+def test_fig12_remaining_nodes(benchmark, capsys):
+    columns, table = once(benchmark, regen_fig12)
+    emit(capsys, "fig12", table)
+    for n in (100, 150, 200):
+        sim = columns[f"rho={n}/km^2 (sim)"]
+        # Decays over time (within sampling noise).
+        assert sim[-1] < sim[0] + 0.5
+        # Starts near the analytical population rho·G/2^H.
+        assert abs(sim[0] - n / 32) <= max(2.0, 0.5 * n / 32)
+    # Density ordering, as in the paper.
+    assert columns["rho=200/km^2 (sim)"][0] > columns["rho=100/km^2 (sim)"][0]

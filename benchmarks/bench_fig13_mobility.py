@@ -1,0 +1,80 @@
+"""Fig. 13a/13b — node speed and partitions vs destination anonymity (§5.5).
+
+Fig. 13a: remaining nodes over time for H ∈ {4, 5} and v ∈ {0, 2, 4} m/s
+(density 200/km²).  Paper: higher mobility → fewer remaining nodes;
+H=4 keeps more nodes than H=5.
+
+Fig. 13b: the node density required to keep a fixed number of nodes in
+the destination zone 10 s into the session, versus speed.  Paper: the
+required density grows with speed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.zone_residency import (
+    measure_remaining_nodes,
+    required_density_for_remaining,
+)
+from repro.experiments.tables import format_series_table
+
+from _common import emit, once
+
+TIMES = [0.0, 10.0, 20.0, 30.0]
+
+
+def regen_fig13a():
+    columns = {}
+    for h in (4, 5):
+        for v in (0.0, 2.0, 4.0):
+            columns[f"H={h} v={int(v)}"] = measure_remaining_nodes(
+                200, v, h, TIMES, seed=int(10 * h + v)
+            )
+    return columns, format_series_table(
+        "Fig. 13a — remaining nodes vs time for H in {4,5}, v in {0,2,4} m/s "
+        "(rho=200/km^2)",
+        "t (s)",
+        TIMES,
+        columns,
+        digits=2,
+    )
+
+
+def regen_fig13b():
+    speeds = [1.0, 2.0, 4.0, 8.0]
+    target = 5.0  # keep five nodes in the zone at t = 10 s
+    densities = [50, 100, 150, 200, 300, 400]
+    required = [
+        required_density_for_remaining(target, v, 5, 10.0, densities, seed=3)
+        for v in speeds
+    ]
+    return required, format_series_table(
+        "Fig. 13b — density required to keep 5 nodes in the zone at "
+        "t=10 s vs node speed (H=5)",
+        "v (m/s)",
+        speeds,
+        {"required density (/km^2)": required},
+        digits=1,
+    )
+
+
+def test_fig13a_speed_and_partitions(benchmark, capsys):
+    columns, table = once(benchmark, regen_fig13a)
+    emit(capsys, "fig13a", table)
+    # Static nodes never leave the zone.
+    assert columns["H=5 v=0"][0] == columns["H=5 v=0"][-1]
+    # Faster movement drains the zone harder (compare at t=30 s,
+    # normalising by the initial population).
+    for h in (4, 5):
+        slow = columns[f"H={h} v=2"]
+        fast = columns[f"H={h} v=4"]
+        if slow[0] > 0 and fast[0] > 0:
+            assert fast[-1] / fast[0] <= slow[-1] / slow[0] + 0.15
+    # Fewer partitions → larger zone → more remaining nodes.
+    assert columns["H=4 v=2"][0] > columns["H=5 v=2"][0]
+
+
+def test_fig13b_required_density(benchmark, capsys):
+    required, table = once(benchmark, regen_fig13b)
+    emit(capsys, "fig13b", table)
+    # Required density grows with speed (allowing interpolation noise).
+    assert required[-1] >= required[0]

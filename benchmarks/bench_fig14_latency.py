@@ -1,0 +1,102 @@
+"""Fig. 14a/14b — latency per packet (§5.6).
+
+Fig. 14a: latency versus node count (50-200) for ALERT, GPSR, ALARM,
+AO2P.  Paper shape: ALARM ≈ AO2P ≫ ALERT ≳ GPSR (the hop-by-hop /
+periodic public-key work dwarfs path-length effects), with AO2P a
+little above ALARM, and everyone's latency falling as density rises.
+
+Fig. 14b: latency versus node speed (2-8 m/s) with and without
+destination update for ALERT and GPSR.  Paper: stable with update;
+mildly increasing without.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import aggregate, run_many
+from repro.experiments.sweeps import sweep_metric
+from repro.experiments.tables import format_series_table
+
+from _common import bench_runs, emit, once, paper_config
+
+SIZES = [50, 100, 150, 200]
+SPEEDS = [2.0, 4.0, 6.0, 8.0]
+PROTOCOLS = ["ALERT", "GPSR", "ALARM", "AO2P"]
+
+
+def regen_fig14a():
+    means, cis = sweep_metric(
+        paper_config(),
+        "n_nodes",
+        SIZES,
+        PROTOCOLS,
+        lambda r: r.mean_latency,
+        runs=bench_runs(),
+    )
+    return means, format_series_table(
+        "Fig. 14a — latency per packet (s) vs number of nodes",
+        "N",
+        SIZES,
+        means,
+        cis=cis,
+        digits=4,
+    )
+
+
+def regen_fig14b():
+    columns: dict[str, list[float]] = {}
+    cis: dict[str, list[float]] = {}
+    for proto in ("ALERT", "GPSR"):
+        for update in (True, False):
+            label = f"{proto} {'with' if update else 'w/o'} update"
+            m, c = [], []
+            for v in SPEEDS:
+                cfg = paper_config(
+                    protocol=proto, speed=v, destination_update=update,
+                    duration=80.0,
+                )
+                results = run_many(cfg, runs=bench_runs())
+                mean, ci = aggregate([r.mean_latency for r in results])
+                m.append(mean)
+                c.append(ci)
+            columns[label] = m
+            cis[label] = c
+    return columns, format_series_table(
+        "Fig. 14b — latency per packet (s) vs node speed, with/without "
+        "destination update",
+        "v (m/s)",
+        SPEEDS,
+        columns,
+        cis=cis,
+        digits=4,
+    )
+
+
+def test_fig14a_latency_vs_density(benchmark, capsys):
+    means, table = once(benchmark, regen_fig14a)
+    emit(capsys, "fig14a", table)
+    for i in range(len(SIZES)):
+        # Hop-by-hop / periodic public-key protocols are dramatically
+        # slower than ALERT and GPSR at every density.
+        assert means["ALARM"][i] > means["ALERT"][i] * 5
+        assert means["AO2P"][i] > means["ALERT"][i] * 5
+        # ALERT pays a modest premium over GPSR for its random routes.
+        assert means["ALERT"][i] > means["GPSR"][i]
+    # Density relief: everyone is no slower at 200 than at 50 nodes.
+    for p in PROTOCOLS:
+        assert means[p][-1] <= means[p][0] * 1.5
+
+
+def test_fig14b_latency_vs_speed(benchmark, capsys):
+    columns, table = once(benchmark, regen_fig14b)
+    emit(capsys, "fig14b", table)
+    # With updates, latency stays roughly flat across speeds.
+    for proto in ("ALERT", "GPSR"):
+        series = columns[f"{proto} with update"]
+        assert max(series) <= min(series) * 2.5
+    # ALERT remains above GPSR in every condition.
+    for cond in ("with", "w/o"):
+        for i in range(len(SPEEDS)):
+            assert (
+                columns[f"ALERT {cond} update"][i]
+                > columns[f"GPSR {cond} update"][i] * 0.8
+            )

@@ -1,0 +1,91 @@
+"""Fig. 16a/16b — delivery rate (§5.6).
+
+Fig. 16a: delivery rate versus node count with destination update.
+Paper: all protocols near 1 except in the sparse 50/km² setting.
+
+Fig. 16b: delivery rate versus node speed, with and without
+destination update.  Paper: with update, flat near 1; without update,
+rates fall with speed and **ALERT beats GPSR** thanks to the final
+local broadcast in the destination zone.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import aggregate, run_many
+from repro.experiments.sweeps import sweep_metric
+from repro.experiments.tables import format_series_table
+
+from _common import bench_runs, emit, once, paper_config
+
+SIZES = [50, 100, 150, 200]
+SPEEDS = [2.0, 4.0, 6.0, 8.0]
+PROTOCOLS = ["ALERT", "GPSR", "ALARM", "AO2P"]
+
+
+def regen_fig16a():
+    means, cis = sweep_metric(
+        paper_config(),
+        "n_nodes",
+        SIZES,
+        PROTOCOLS,
+        lambda r: r.delivery_rate,
+        runs=bench_runs(),
+    )
+    return means, format_series_table(
+        "Fig. 16a — delivery rate vs number of nodes (with destination update)",
+        "N",
+        SIZES,
+        means,
+        cis=cis,
+        digits=3,
+    )
+
+
+def regen_fig16b():
+    columns: dict[str, list[float]] = {}
+    for proto in ("ALERT", "GPSR"):
+        for update in (True, False):
+            label = f"{proto} {'with' if update else 'w/o'} update"
+            m = []
+            for v in SPEEDS:
+                cfg = paper_config(
+                    protocol=proto, speed=v, destination_update=update,
+                    duration=100.0,
+                )
+                results = run_many(cfg, runs=bench_runs())
+                m.append(aggregate([r.delivery_rate for r in results])[0])
+            columns[label] = m
+    return columns, format_series_table(
+        "Fig. 16b — delivery rate vs node speed, with/without destination update",
+        "v (m/s)",
+        SPEEDS,
+        columns,
+        digits=3,
+    )
+
+
+def test_fig16a_delivery_vs_density(benchmark, capsys):
+    means, table = once(benchmark, regen_fig16a)
+    emit(capsys, "fig16a", table)
+    for p in PROTOCOLS:
+        # Near-perfect delivery at the denser settings.
+        assert means[p][-1] >= 0.9
+        # Sparse 50-node networks are the weakest point for everyone.
+        assert means[p][0] <= means[p][-1] + 0.05
+
+
+def test_fig16b_delivery_vs_speed(benchmark, capsys):
+    columns, table = once(benchmark, regen_fig16b)
+    emit(capsys, "fig16b", table)
+    # With update: flat near 1 at all speeds.
+    for proto in ("ALERT", "GPSR"):
+        assert min(columns[f"{proto} with update"]) >= 0.85
+    # Without update: rates fall as speed rises.
+    for proto in ("ALERT", "GPSR"):
+        series = columns[f"{proto} w/o update"]
+        assert series[-1] < series[0]
+    # The paper's highlighted crossover: ALERT's zone broadcast makes
+    # it more robust than GPSR when positions go stale at speed.
+    assert (
+        columns["ALERT w/o update"][-1] >= columns["GPSR w/o update"][-1] - 0.05
+    )

@@ -1,0 +1,61 @@
+"""Fig. 17 — ALERT delay under different movement models (§5.6).
+
+Delay of ALERT under random waypoint versus the group mobility model
+with 10 groups × 150 m and 5 groups × 200 m.  Paper: group mobility
+adds delay (senders/forwarders see less uniformly spread neighbors),
+and 5 groups > 10 groups > random waypoint.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import aggregate, run_many
+from repro.experiments.tables import format_series_table
+
+from _common import bench_runs, emit, once, paper_config
+
+CONDITIONS = [
+    ("random waypoint", dict(mobility="rwp")),
+    ("group: 10 x 150 m", dict(mobility="group", n_groups=10, group_range=150.0)),
+    ("group: 5 x 200 m", dict(mobility="group", n_groups=5, group_range=200.0)),
+]
+
+
+def regen_fig17():
+    means, cis = [], []
+    # The movement-model effect is the subtlest in the paper ("the
+    # delay of ALERT increases slightly in the group movement model"),
+    # so this figure gets extra seeds regardless of REPRO_RUNS.
+    runs = max(bench_runs(), 4)
+    for _, overrides in CONDITIONS:
+        cfg = paper_config(protocol="ALERT", duration=60.0, **overrides)
+        results = run_many(cfg, runs=runs)
+        mean, ci = aggregate([r.mean_latency for r in results])
+        means.append(mean)
+        cis.append(ci)
+    labels = [name for name, _ in CONDITIONS]
+    table = format_series_table(
+        "Fig. 17 — ALERT delay (s) under different movement models",
+        "model",
+        labels,
+        {"latency (s)": means},
+        cis={"latency (s)": cis},
+        digits=4,
+    )
+    return dict(zip(labels, means)), table
+
+
+def test_fig17_movement_models(benchmark, capsys):
+    means, table = once(benchmark, regen_fig17)
+    emit(capsys, "fig17", table)
+    rwp = means["random waypoint"]
+    g10 = means["group: 10 x 150 m"]
+    g5 = means["group: 5 x 200 m"]
+    # All three conditions route at the same millisecond scale...
+    for v in (rwp, g10, g5):
+        assert 0.005 <= v <= 0.1
+    # ...and group mobility never *beats* random waypoint by more than
+    # run-to-run noise (the paper's effect — group slightly slower —
+    # is subtle; its strict ordering emerges at REPRO_RUNS≈10+, while
+    # this guard only rejects a reversed ordering beyond noise).
+    assert g10 >= rwp * 0.7
+    assert g5 >= rwp * 0.7

@@ -1,0 +1,76 @@
+"""§4.3 — location-service message overhead.
+
+The paper's usability condition: pseudonym/location maintenance must
+be a vanishing fraction of regular traffic, achieved with N_L ≈ √N
+servers and update frequency f ≪ data frequency F.  This bench prints
+the overhead ratio across server-count choices and verifies the √N
+sweet spot, both in closed form and measured on the live location
+service.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.theory import location_service_overhead
+from repro.experiments.tables import format_kv_block, format_series_table
+from repro.location.service import LocationService
+from repro.experiments.runner import make_mobility_factory
+from repro.experiments.config import ExperimentConfig
+from repro.geometry.field import Field
+from repro.net.network import Network
+from repro.sim.engine import Engine
+
+from _common import emit, once
+
+N = 200
+F_DATA = 0.5  # packets/s per node (paper: 1 packet / 2 s)
+F_UPDATE = 1 / 30.0  # pseudonym/location updates every 30 s
+
+
+def regen_overhead():
+    server_counts = [1, 5, 14, 50, 100, 200]
+    ratios = [
+        location_service_overhead(N, nl, F_UPDATE, F_DATA) for nl in server_counts
+    ]
+    closed = format_series_table(
+        "§4.3 — maintenance overhead ratio vs number of location servers "
+        f"(N={N}, f=1/30 Hz, F=0.5 Hz)",
+        "N_L",
+        server_counts,
+        {"overhead ratio": ratios},
+        digits=4,
+    )
+
+    # Measured on the live service: run 60 s and count messages.
+    cfg = ExperimentConfig(n_nodes=N)
+    engine = Engine(seed=1)
+    fld = Field(1000, 1000)
+    net = Network(engine, fld, make_mobility_factory(cfg, engine, fld), N)
+    svc = LocationService(net, updates_enabled=True, update_interval=30.0)
+    engine.run(until=60.0)
+    svc.stop()
+    measured = svc.message_overhead(duration=60.0, data_frequency=F_DATA)
+    writes = sum(s.writes for s in svc.servers)
+    repl = sum(s.replications for s in svc.servers)
+    live = format_kv_block(
+        "Measured on the live service (60 s, N_L = sqrt(N) = 14):",
+        {
+            "servers": len(svc.servers),
+            "node writes": writes,
+            "replications": repl,
+            "overhead ratio": measured,
+        },
+    )
+    return ratios, measured, closed + "\n\n" + live
+
+
+def test_overhead_sqrt_n_sweet_spot(benchmark, capsys):
+    ratios, measured, table = once(benchmark, regen_overhead)
+    emit(capsys, "overhead", table)
+    sqrt_ratio = location_service_overhead(N, int(math.sqrt(N)), F_UPDATE, F_DATA)
+    # The paper's condition: ≪ 1 at N_L ≈ √N (≈ 0.13 here).
+    assert sqrt_ratio < 0.2
+    assert measured < 0.2
+    # Overhead explodes when every node hosts a server.
+    assert ratios[-1] > sqrt_ratio * 10

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Tuning ALERT's anonymity knobs for a deployment.
+
+A downstream user's first question is "what H/k/m do I set?".  This
+example walks the tradeoffs with both the paper's closed forms (§4)
+and live simulations:
+
+* H (partition count): route anonymity (#RFs) vs hop cost vs the size
+  of the destination anonymity set.
+* m (two-step multicast fan-out): §3.3 coverage formula.
+* expected zone residency over a session (how long k-anonymity lasts
+  at a given speed), eq. (15).
+
+Run:  python examples/anonymity_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import (
+    expected_random_forwarders,
+    remaining_nodes,
+)
+from repro.core.intersection_defense import coverage_percent
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import format_series_table
+
+N_NODES = 200
+FIELD = 1000.0
+
+
+def main() -> None:
+    hs = [3, 4, 5, 6]
+
+    # Closed-form view.
+    theory_rf = [expected_random_forwarders(h) for h in hs]
+    zone_k = [N_NODES / 2**h for h in hs]
+
+    # Simulated view (one seed per point; see benchmarks/ for CIs).
+    sim_rf, sim_hops, sim_delivery = [], [], []
+    for h in hs:
+        cfg = ExperimentConfig(
+            protocol="ALERT", n_nodes=N_NODES, duration=30.0,
+            n_pairs=6, h_override=h, seed=5,
+        )
+        r = run_experiment(cfg)
+        sim_rf.append(r.metrics.mean_rf_count(delivered_only=False))
+        sim_hops.append(r.mean_hops)
+        sim_delivery.append(r.delivery_rate)
+
+    print(
+        format_series_table(
+            "Choosing H: anonymity vs cost (200 nodes)",
+            "H",
+            hs,
+            {
+                "E[#RF] (eq.10)": theory_rf,
+                "#RF (sim)": sim_rf,
+                "hops (sim)": sim_hops,
+                "zone k = N/2^H": zone_k,
+                "delivery (sim)": sim_delivery,
+            },
+            digits=2,
+        )
+    )
+
+    print()
+    ms = [1, 2, 3, 4, 6]
+    print(
+        format_series_table(
+            "Choosing m: §3.3 two-step multicast coverage (k = 6)",
+            "m",
+            ms,
+            {
+                "coverage, p_c=1.0": [coverage_percent(m, 6, 1.0) for m in ms],
+                "coverage, p_c=0.8": [coverage_percent(m, 6, 0.8) for m in ms],
+                "observable recipients": [float(m) for m in ms],
+            },
+            digits=2,
+        )
+    )
+
+    print()
+    times = [0.0, 20.0, 40.0, 60.0]
+    print(
+        format_series_table(
+            "How long does k-anonymity last? eq. (15), H=5, rho=200/km^2",
+            "t (s)",
+            times,
+            {
+                f"v={v} m/s": [
+                    float(remaining_nodes(t, 5, FIELD, v, N_NODES / FIELD**2))
+                    for t in times
+                ]
+                for v in (1.0, 2.0, 4.0)
+            },
+            digits=2,
+        )
+    )
+    print(
+        "\nRules of thumb this generates: H=5 keeps ~6 nodes of cover"
+        "\nwhile adding ~2 random forwarders per packet; m=3 hides the"
+        "\ncommander from intersection attacks at full coverage; at"
+        "\n4 m/s the cover set halves in about half a minute, so long"
+        "\nsessions in fast networks should re-key (new session, new"
+        "\nzone) periodically."
+    )
+
+
+if __name__ == "__main__":
+    main()

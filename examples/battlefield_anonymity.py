@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Battlefield scenario: what does an eavesdropper actually learn?
+
+The paper's motivating deployment (§1): soldiers' radios form a MANET;
+an enemy observer captures traffic, trying to locate the commander
+(the destination) and the scouts reporting to her (the sources).
+
+This example runs one long reporting session under ALERT — with the
+intersection-attack defense on — and under GPSR, then attacks both
+with the full §3 toolkit: set intersection over destination-zone
+recipients, timing correlation, and relay compromise.
+
+Run:  python examples/battlefield_anonymity.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks.adversary import DeliveryObservation
+from repro.attacks.intersection_attack import IntersectionAttacker
+from repro.attacks.timing_attack import TimingAttacker
+from repro.attacks.traffic_analysis import InterceptionAttacker
+from repro.core.alert import AlertProtocol
+from repro.core.config import AlertConfig
+from repro.crypto.cost_model import CryptoCostModel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import MetricsCollector
+from repro.experiments.runner import make_mobility_factory, run_experiment
+from repro.geometry.field import Field
+from repro.location.service import LocationService
+from repro.net.network import Network
+from repro.sim.engine import Engine
+
+SCOUT, COMMANDER = 0, 120
+N_REPORTS = 25
+
+
+def alert_session():
+    """A defended ALERT session with an observer in the field."""
+    engine = Engine(seed=7)
+    fld = Field(1000, 1000)
+    cfg = ExperimentConfig(n_nodes=200)
+    net = Network(engine, fld, make_mobility_factory(cfg, engine, fld), 200)
+    metrics = MetricsCollector()
+    location = LocationService(net, cost_model=CryptoCostModel())
+    proto = AlertProtocol(
+        net,
+        location,
+        metrics,
+        config=AlertConfig(
+            h_override=5,
+            notify_and_go=True,
+            intersection_defense=True,
+            multicast_m=3,
+        ),
+    )
+    observations: list[DeliveryObservation] = []
+    proto.zone_delivery_observer = lambda t, r: observations.append(
+        DeliveryObservation(time=t, recipients=frozenset(r))
+    )
+    net.start_hello()
+    engine.run(until=0.5)
+    for _ in range(N_REPORTS):
+        proto.send_data(SCOUT, COMMANDER)
+        engine.run(until=engine.now + 2.0)
+    engine.run(until=engine.now + 3.0)
+    return metrics, observations
+
+
+def main() -> None:
+    print("Battlefield anonymity: scout -> commander, enemy listening")
+    print("=" * 62)
+
+    # ------------------------------------------------------------ ALERT
+    metrics, observations = alert_session()
+    print(f"\nALERT (notify-and-go + intersection defense), "
+          f"{N_REPORTS} reports, delivery {metrics.delivery_rate():.2f}")
+
+    attacker = IntersectionAttacker()
+    attacker.observe_all(observations)
+    print(f"  intersection attack over {attacker.observations} observed "
+          f"zone deliveries:")
+    print(f"    final candidate set size : {len(attacker.candidates())}")
+    print(f"    commander identified     : {attacker.identified(COMMANDER)}")
+    print(f"    commander escaped the set: {attacker.defeated(COMMANDER)}")
+    eta = metrics.counters.get("notify_anonymity_set", 0) / max(
+        metrics.counters.get("notify_rounds", 1), 1
+    )
+    print(f"  notify-and-go source anonymity set: ~{eta:.0f} candidates")
+
+    # ------------------------------------------------------------- GPSR
+    cfg = ExperimentConfig(protocol="GPSR", n_nodes=200, duration=60.0,
+                           n_pairs=1, seed=7)
+    r = run_experiment(cfg)
+    routes = [f.path for f in r.metrics.flows() if f.delivered]
+    print(f"\nGPSR baseline, {len(routes)} delivered reports")
+
+    timing = TimingAttacker(cv_threshold=0.35)
+    deps = [f.created_at for f in r.metrics.flows()]
+    arrs = [f.delivered_at for f in r.metrics.flows() if f.delivered]
+    v = timing.correlate(deps, arrs)
+    print(f"  timing attack: delay CV {v.cv:.3f} -> "
+          f"{'S-D pair exposed' if v.identified else 'inconclusive'}")
+
+    interceptor = InterceptionAttacker(budget=3)
+    half = len(routes) // 2
+    src, dst = r.pairs[0]
+    rate = interceptor.interception_rate(
+        routes[:half], routes[half:], exclude=[src, dst]
+    )
+    print(f"  relay compromise: 3 busiest relays intercept "
+          f"{rate:.0%} of later reports")
+    print(
+        "\nGPSR's fixed shortest path makes both attacks easy; ALERT's"
+        "\nrandom zone-hopping and two-step zone delivery deny them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Protocol bake-off: ALERT vs GPSR vs ALARM vs AO2P.
+
+Reproduces the spirit of the paper's §5.6 comparison in one run per
+protocol: latency, hops, delivery, energy proxies, and crypto bills,
+printed side by side.  ALARM's periodic identity dissemination and the
+hop-by-hop public-key costs of ALARM/AO2P are what separate the
+columns.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, run_experiment
+from repro.experiments.tables import format_series_table
+
+PROTOCOLS = ("ALERT", "GPSR", "ALARM", "AO2P")
+
+
+def main() -> None:
+    rows: dict[str, list[float]] = {
+        "latency (ms)": [],
+        "hops/packet": [],
+        "delivery": [],
+        "pubkey ops": [],
+        "symmetric ops": [],
+        "link attempts": [],
+    }
+    for protocol in PROTOCOLS:
+        cfg = ExperimentConfig(
+            protocol=protocol, n_nodes=150, duration=40.0, n_pairs=8, seed=11
+        )
+        r = run_experiment(cfg)
+        charges = r.cost.charges
+        pub = sum(
+            charges.get(op, 0)
+            for op in ("pubkey_encrypt", "pubkey_decrypt", "sign", "verify")
+        )
+        sym = sum(
+            charges.get(op, 0)
+            for op in ("symmetric_encrypt", "symmetric_decrypt")
+        )
+        attempts = sum(f.attempts for f in r.metrics.flows())
+        rows["latency (ms)"].append(r.mean_latency * 1000)
+        rows["hops/packet"].append(r.mean_hops)
+        rows["delivery"].append(r.delivery_rate)
+        rows["pubkey ops"].append(float(pub))
+        rows["symmetric ops"].append(float(sym))
+        rows["link attempts"].append(float(attempts))
+
+    print(
+        format_series_table(
+            "Protocol comparison — 150 nodes, 40 s, 8 S-D pairs",
+            "protocol",
+            list(PROTOCOLS),
+            rows,
+            digits=1,
+        )
+    )
+    print(
+        "\nReading the table: ALARM and AO2P route as tightly as GPSR"
+        "\nbut pay a public-key operation on every hop (and, for ALARM,"
+        "\nper dissemination link), which is their ~50x latency."
+        "\nALERT spends a handful of extra hops and one symmetric"
+        "\nencryption instead — the paper's 'high anonymity at low"
+        "\ncost' claim in one run."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: route anonymous traffic through a MANET with ALERT.
+
+Builds the paper's default scenario — 200 nodes on a 1000 m × 1000 m
+field, random-waypoint mobility at 2 m/s — runs ten CBR flows for
+30 simulated seconds under ALERT, and prints the §5.2 metrics next to
+the GPSR baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    print("ALERT quickstart — 200 nodes, 1000 m x 1000 m, v = 2 m/s")
+    print("=" * 60)
+
+    for protocol in ("ALERT", "GPSR"):
+        cfg = ExperimentConfig(
+            protocol=protocol,
+            n_nodes=200,
+            duration=30.0,
+            n_pairs=10,
+            seed=42,
+        )
+        result = run_experiment(cfg)
+        m = result.metrics
+        print(f"\n{protocol}")
+        print(f"  packets sent          {m.packets_sent}")
+        print(f"  delivery rate         {result.delivery_rate:.3f}")
+        print(f"  latency per packet    {result.mean_latency * 1000:.1f} ms")
+        print(f"  hops per packet       {result.mean_hops:.2f}")
+        print(f"  participating nodes   {result.participating_nodes}")
+        if protocol == "ALERT":
+            print(f"  random forwarders     {result.mean_rf_count:.2f} per packet")
+            verified = m.counters.get("payload_verified", 0)
+            print(f"  payloads decrypted OK {int(verified)}")
+
+    print(
+        "\nALERT delivers comparably to GPSR while scattering each"
+        "\npacket over a fresh random route — that dispersion is the"
+        "\nanonymity the paper is about.  See examples/battlefield_"
+        "\nanonymity.py for the adversary's view."
+    )
+
+
+if __name__ == "__main__":
+    main()

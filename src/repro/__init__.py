@@ -1,0 +1,57 @@
+"""repro — a full reproduction of *ALERT: An Anonymous Location-Based
+Efficient Routing Protocol in MANETs* (Shen & Zhao, ICPP 2011 / IEEE
+TMC 2012).
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(protocol="ALERT", n_nodes=200, seed=7)
+    result = run_experiment(cfg)
+    print(result.delivery_rate, result.mean_latency, result.mean_hops)
+
+Layers (bottom up): :mod:`repro.sim` (event engine), :mod:`repro.geometry`,
+:mod:`repro.mobility`, :mod:`repro.crypto`, :mod:`repro.net` (MANET
+substrate), :mod:`repro.location`, :mod:`repro.routing` (GPSR / ALARM /
+AO2P baselines), :mod:`repro.core` (ALERT itself), :mod:`repro.attacks`,
+:mod:`repro.analysis` (§4 closed forms), :mod:`repro.experiments`
+(harness).
+"""
+
+from repro.core import AlertConfig, AlertProtocol
+from repro.experiments import (
+    ExperimentConfig,
+    MetricsCollector,
+    aggregate,
+    run_experiment,
+    run_many,
+)
+from repro.geometry import Field, Point, Rect
+from repro.net import Network
+from repro.routing import (
+    AlarmProtocol,
+    Ao2pProtocol,
+    GpsrProtocol,
+)
+from repro.sim import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "Point",
+    "Rect",
+    "Field",
+    "Network",
+    "AlertProtocol",
+    "AlertConfig",
+    "GpsrProtocol",
+    "AlarmProtocol",
+    "Ao2pProtocol",
+    "ExperimentConfig",
+    "MetricsCollector",
+    "run_experiment",
+    "run_many",
+    "aggregate",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analysis: the paper's §4 closed forms and anonymity metrics."""
+
+from repro.analysis.anonymity import (
+    anonymity_entropy,
+    k_anonymity_set,
+    route_overlap,
+)
+from repro.analysis.zone_residency import (
+    measure_remaining_nodes,
+    required_density_for_remaining,
+)
+from repro.analysis.theory import (
+    expected_participating_nodes,
+    expected_random_forwarders,
+    location_service_overhead,
+    remaining_nodes,
+    remaining_probability,
+    rf_count_pmf,
+    separation_probability,
+    zone_side_lengths,
+)
+
+__all__ = [
+    "zone_side_lengths",
+    "separation_probability",
+    "expected_participating_nodes",
+    "rf_count_pmf",
+    "expected_random_forwarders",
+    "remaining_probability",
+    "remaining_nodes",
+    "location_service_overhead",
+    "k_anonymity_set",
+    "anonymity_entropy",
+    "route_overlap",
+    "measure_remaining_nodes",
+    "required_density_for_remaining",
+]

@@ -1,0 +1,94 @@
+"""Quantitative anonymity metrics used by the attack benchmarks.
+
+These operationalise the informal guarantees of §3: destination
+k-anonymity (size of the candidate set an observer is left with),
+entropy of the attacker's posterior, and route overlap (how much two
+consecutive routes share — the observable GPSR leaks and ALERT hides).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+def k_anonymity_set(candidates: Iterable[int]) -> int:
+    """Size of the attacker's remaining candidate set.
+
+    1 means fully identified; larger is better for the target.
+    """
+    return len(set(candidates))
+
+
+def anonymity_entropy(weights: Sequence[float]) -> float:
+    """Shannon entropy (bits) of the attacker's posterior over suspects.
+
+    ``weights`` are unnormalised suspicion scores; uniform weights over
+    n suspects give ``log2(n)`` bits (perfect n-anonymity).
+    """
+    total = float(sum(weights))
+    if total <= 0:
+        return 0.0
+    h = 0.0
+    for w in weights:
+        if w <= 0:
+            continue
+        p = w / total
+        h -= p * math.log2(p)
+    return h
+
+
+def route_overlap(route_a: Sequence[int], route_b: Sequence[int]) -> float:
+    """Jaccard overlap of the node sets of two routes.
+
+    GPSR's repeated shortest paths give overlap ≈ 1 between consecutive
+    packets of a flow; ALERT's random relay selection drives it toward
+    0, which is what defeats route tracing and interception (§3.1).
+    """
+    a, b = set(route_a), set(route_b)
+    if not a and not b:
+        return 1.0
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def mean_pairwise_overlap(routes: Sequence[Sequence[int]]) -> float:
+    """Mean Jaccard overlap over consecutive route pairs of a flow."""
+    if len(routes) < 2:
+        return float("nan")
+    overlaps = [
+        route_overlap(routes[i], routes[i + 1]) for i in range(len(routes) - 1)
+    ]
+    return sum(overlaps) / len(overlaps)
+
+
+def endpoint_exposure(routes: Sequence[Sequence[int]], endpoint: int) -> float:
+    """Fraction of routes in which ``endpoint`` appears at a path end.
+
+    An intruder that can see full routes identifies endpoints by their
+    terminal positions; protocols that bury endpoints among forwarders
+    (ALERT's Z_D broadcast) lower this.
+    """
+    if not routes:
+        return float("nan")
+    hits = 0
+    for r in routes:
+        if r and (r[0] == endpoint or r[-1] == endpoint):
+            hits += 1
+    return hits / len(routes)
+
+
+def observation_frequency(routes: Sequence[Sequence[int]]) -> Counter:
+    """How often each node appears across routes (traffic-analysis view).
+
+    A sharply peaked counter over few nodes marks a stable, traceable
+    path; a flat counter over many nodes marks ALERT-style dispersion.
+    """
+    c: Counter = Counter()
+    for r in routes:
+        for nid in set(r):
+            c[nid] += 1
+    return c

@@ -1,0 +1,167 @@
+"""Closed-form analysis of ALERT (paper §4, equations 1-15).
+
+All functions are vectorised over their primary argument where that is
+useful for plotting (the benchmark harness evaluates whole curves at
+once), and every equation number refers to the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import comb
+
+
+def zone_side_lengths(
+    h: int | np.ndarray, l_a: float, l_b: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eqs. (1)-(2): side lengths of the h-th partitioned zone.
+
+    ``a(h, l_A) = l_A / 2^floor(h/2)`` and
+    ``b(h, l_B) = l_B / 2^ceil(h/2)`` — the ``l_B`` side is halved by
+    the first partition.
+    """
+    h = np.asarray(h, dtype=np.int64)
+    if np.any(h < 0):
+        raise ValueError("h must be >= 0")
+    a = l_a / (2.0 ** np.floor(h / 2.0))
+    b = l_b / (2.0 ** np.ceil(h / 2.0))
+    return a, b
+
+
+def separation_probability(sigma: int | np.ndarray, h_max: int) -> np.ndarray:
+    """Eq. (5): ``p_s(σ) = 1 / 2^σ`` for ``0 < σ <= H``.
+
+    The probability that exactly σ partitions separate a source from a
+    uniformly placed destination.
+    """
+    sigma = np.asarray(sigma, dtype=np.int64)
+    if np.any((sigma <= 0) | (sigma > h_max)):
+        raise ValueError(f"σ must satisfy 0 < σ <= H={h_max}")
+    return 1.0 / (2.0**sigma)
+
+
+def expected_participating_nodes(
+    h_max: int, l_a: float, l_b: float, rho: float
+) -> float:
+    """Eqs. (6)-(7): expected number of possible participating nodes.
+
+    ``N_e = Σ_{σ=1}^{H} a(σ)·b(σ)·ρ · p_s(σ)`` — the population of the
+    zone in which routing happens, weighted over closeness σ.  ``rho``
+    is node density per square metre.
+    """
+    if h_max < 1:
+        raise ValueError(f"H must be >= 1, got {h_max}")
+    sigmas = np.arange(1, h_max + 1)
+    a, b = zone_side_lengths(sigmas, l_a, l_b)
+    p = separation_probability(sigmas, h_max)
+    return float(np.sum(a * b * rho * p))
+
+
+def rf_count_pmf(sigma: int, h_max: int) -> np.ndarray:
+    """Eq. (8): ``p_i(σ, i) = C(H-σ, i) (1/2)^{H-σ}``.
+
+    Probability of ``i`` random forwarders on a path whose endpoints
+    have closeness σ.  Returns the pmf over ``i = 0 .. H-σ``.
+    """
+    if not 0 < sigma <= h_max:
+        raise ValueError(f"need 0 < σ <= H, got σ={sigma}, H={h_max}")
+    n = h_max - sigma
+    i = np.arange(0, n + 1)
+    return comb(n, i) * (0.5**n)
+
+
+def expected_random_forwarders(h_max: int, per_sigma: bool = False):
+    """Eqs. (9)-(10): expected number of random forwarders.
+
+    With ``per_sigma=True`` returns the array ``N_RF(σ)`` for
+    ``σ = 1..H`` (eq. 9); otherwise the closeness-weighted total
+    ``N_RF`` (eq. 10).
+    """
+    if h_max < 1:
+        raise ValueError(f"H must be >= 1, got {h_max}")
+    per = np.empty(h_max, dtype=np.float64)
+    for idx, sigma in enumerate(range(1, h_max + 1)):
+        pmf = rf_count_pmf(sigma, h_max)
+        i = np.arange(pmf.size)
+        per[idx] = float(np.sum(pmf * i))
+    if per_sigma:
+        return per
+    sigmas = np.arange(1, h_max + 1)
+    weights = 1.0 / (2.0**sigmas)
+    return float(np.sum(per * weights))
+
+
+def remaining_probability(
+    t: float | np.ndarray, r: float, v: float
+) -> np.ndarray:
+    """Eqs. (11)-(12): ``p_r(t) = exp(-t / β(r))``, ``β(r) = πr / 2v``.
+
+    Probability a node moving at speed ``v`` is still inside a circular
+    zone of radius ``r`` after time ``t``.  ``v = 0`` gives 1.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    if np.any(t < 0):
+        raise ValueError("t must be >= 0")
+    if r <= 0:
+        raise ValueError(f"radius must be positive, got {r}")
+    if v < 0:
+        raise ValueError(f"speed must be >= 0, got {v}")
+    if v == 0:
+        return np.ones_like(t)
+    beta = math.pi * r / (2.0 * v)
+    return np.exp(-t / beta)
+
+
+def equivalent_zone_radius(side: float) -> float:
+    """Eq. (13): radius of the circle with a square zone's area.
+
+    ``π r² = (2r')² → r = 2r'/√π`` with ``2r'`` the zone side length.
+    """
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    return side / math.sqrt(math.pi)
+
+
+def remaining_nodes(
+    t: float | np.ndarray,
+    h_max: int,
+    l_a: float,
+    v: float,
+    rho: float,
+) -> np.ndarray:
+    """Eq. (15): nodes remaining in the destination zone after time t.
+
+    ``N_r(t) = e^{-t v / (√π r')} · a(H, l_A)² · ρ``.  The paper's
+    derivation assumes a square zone (square field, even ``H``); for
+    odd ``H`` — including the paper's own default H = 5 — we use the
+    equal-area square side ``√(a·b)`` so the zone population and decay
+    constant match the true zone area.
+    """
+    a, b = zone_side_lengths(h_max, l_a, l_a)
+    side = math.sqrt(float(a) * float(b))
+    r = equivalent_zone_radius(side)
+    p = remaining_probability(t, r, v)
+    return p * side * side * rho
+
+
+def location_service_overhead(
+    n_nodes: int,
+    n_servers: int,
+    update_frequency: float,
+    data_frequency: float,
+) -> float:
+    """§4.3's overhead ratio.
+
+    ``(N_L (N_L - 1) f + N f) / (N F)`` — the fraction of network
+    traffic spent on pseudonym/location maintenance.  The paper's
+    usability condition is that this be ≪ 1, satisfied when
+    ``N_L ≈ √N`` and ``f ≪ F``.
+    """
+    if n_nodes <= 0 or n_servers <= 0:
+        raise ValueError("n_nodes and n_servers must be positive")
+    if update_frequency < 0 or data_frequency <= 0:
+        raise ValueError("frequencies must be >= 0 (data frequency > 0)")
+    numerator = n_servers * (n_servers - 1) * update_frequency + n_nodes * update_frequency
+    return numerator / (n_nodes * data_frequency)

@@ -1,0 +1,107 @@
+"""Simulated destination-zone residency (the measurement behind
+Figs. 12 and 13).
+
+The §5.5 experiments track, over a data-transmission session, how many
+of the nodes originally inside the destination zone are still there
+after time t — the simulated counterpart of eq. (15).  This module
+runs that measurement on the mobility substrate directly (no traffic
+needed: residency is purely a mobility/geometry property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.zones import Direction, destination_zone
+from repro.geometry.field import Field
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.static import StaticPosition
+
+
+def measure_remaining_nodes(
+    n_nodes: int,
+    speed: float,
+    h: int,
+    times: list[float],
+    seed: int = 0,
+    field_size: float = 1000.0,
+    n_zones: int = 20,
+) -> list[float]:
+    """Mean count of original zone members still in the zone at each t.
+
+    Parameters
+    ----------
+    n_nodes:
+        Population of the field (density = n_nodes / field area).
+    speed:
+        Node speed in m/s (0 = static).
+    h:
+        Number of partitions defining the destination zone.
+    times:
+        Offsets (seconds) at which residency is probed.
+    n_zones:
+        Number of random destination choices averaged over.
+
+    Returns
+    -------
+    list[float]
+        Mean remaining-node count per probe time.
+    """
+    if not times or min(times) < 0:
+        raise ValueError("times must be non-empty and non-negative")
+    fld = Field(field_size, field_size)
+    rng = np.random.default_rng(seed)
+    if speed == 0:
+        motions = [StaticPosition(fld.random_point(rng)) for _ in range(n_nodes)]
+    else:
+        motions = [
+            RandomWaypoint(fld, rng, speed_min=speed, speed_max=speed)
+            for _ in range(n_nodes)
+        ]
+
+    totals = np.zeros(len(times))
+    for probe in range(n_zones):
+        t0 = float(rng.uniform(0.0, 20.0))
+        dest_idx = int(rng.integers(0, n_nodes))
+        dest_pos = motions[dest_idx].position(t0)
+        zone = destination_zone(fld.bounds, dest_pos, h, Direction.VERTICAL)
+        members = [
+            i for i, m in enumerate(motions) if zone.contains(m.position(t0))
+        ]
+        for j, dt in enumerate(times):
+            remaining = sum(
+                1 for i in members if zone.contains(motions[i].position(t0 + dt))
+            )
+            totals[j] += remaining
+    return list(totals / n_zones)
+
+
+def required_density_for_remaining(
+    target_remaining: float,
+    speed: float,
+    h: int,
+    at_time: float,
+    densities: list[int],
+    seed: int = 0,
+    field_size: float = 1000.0,
+) -> float:
+    """Smallest density (nodes/km²) keeping ``target_remaining`` nodes
+    in the zone after ``at_time`` seconds (Fig. 13b's y-axis).
+
+    Interpolates linearly between the measured densities; returns the
+    largest probed density if even that falls short.
+    """
+    if not densities:
+        raise ValueError("need at least one density to probe")
+    xs, ys = [], []
+    for n in sorted(densities):
+        remaining = measure_remaining_nodes(
+            n, speed, h, [at_time], seed=seed, field_size=field_size
+        )[0]
+        xs.append(float(n))
+        ys.append(remaining)
+        if remaining >= target_remaining:
+            break
+    if ys[-1] >= target_remaining and len(ys) >= 2:
+        return float(np.interp(target_remaining, ys[-2:], xs[-2:]))
+    return xs[-1]

@@ -1,0 +1,77 @@
+"""Passive observer infrastructure shared by the concrete attacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def union_observations_by_window(
+    observations: list["DeliveryObservation"], window: float
+) -> list["DeliveryObservation"]:
+    """Merge receptions belonging to one packet delivery.
+
+    A single packet's zone delivery can put several frames on the air
+    (entry relay, center approach, rebroadcast); an attacker groups
+    frames closer together than ``window`` seconds — far shorter than
+    the inter-packet gap — and unions their recipient sets into one
+    per-packet observation before intersecting.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window!r}")
+    merged: list[DeliveryObservation] = []
+    bucket_start: float | None = None
+    bucket: set[int] = set()
+    for obs in sorted(observations, key=lambda o: o.time):
+        if bucket_start is None or obs.time - bucket_start > window:
+            if bucket_start is not None:
+                merged.append(
+                    DeliveryObservation(bucket_start, frozenset(bucket))
+                )
+            bucket_start = obs.time
+            bucket = set(obs.recipients)
+        else:
+            bucket |= obs.recipients
+    if bucket_start is not None:
+        merged.append(DeliveryObservation(bucket_start, frozenset(bucket)))
+    return merged
+
+
+@dataclass(frozen=True)
+class DeliveryObservation:
+    """One observed zone delivery: who received a packet, and when.
+
+    The observer sees radio receptions, not identities: ``recipients``
+    are the (pseudonymous) addresses it could attribute receptions to.
+    """
+
+    time: float
+    recipients: frozenset[int]
+
+
+@dataclass
+class PassiveObserver:
+    """A battery-powered eavesdropper accumulating observations.
+
+    Concrete attacks consume the observation log; the observer itself
+    never interacts with the protocol (paper §2.1: attackers
+    "passively receive network packets and detect activities in their
+    vicinity").
+    """
+
+    deliveries: list[DeliveryObservation] = field(default_factory=list)
+    #: (time, node_id) transmission events seen on the air
+    transmissions: list[tuple[float, int]] = field(default_factory=list)
+
+    def observe_delivery(self, time: float, recipients) -> None:
+        """Record the recipient set of one zone delivery."""
+        self.deliveries.append(
+            DeliveryObservation(time=time, recipients=frozenset(recipients))
+        )
+
+    def observe_transmission(self, time: float, node_id: int) -> None:
+        """Record one on-air transmission."""
+        self.transmissions.append((time, node_id))
+
+    def observation_count(self) -> int:
+        """Total observed events."""
+        return len(self.deliveries) + len(self.transmissions)

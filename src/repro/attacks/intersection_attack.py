@@ -1,0 +1,56 @@
+"""The intersection attack (paper §3.3, Fig. 5).
+
+"An attacker with information about active users at a given time can
+determine the sources and destinations that communicate with each
+other through repeated observations" — concretely, the attacker
+intersects the destination-zone recipient sets over successive packet
+deliveries.  If the destination receives every packet, it survives
+every intersection while mobile bystanders churn out, so the candidate
+set shrinks to {D}.
+
+ALERT's two-step partial multicast makes the destination *absent* from
+some observable recipient sets, so the running intersection loses D
+and the attack returns an empty (or wrong) candidate set.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.adversary import DeliveryObservation
+
+
+class IntersectionAttacker:
+    """Runs the set-intersection analysis over delivery observations."""
+
+    def __init__(self) -> None:
+        self._candidates: set[int] | None = None
+        self.observations = 0
+        #: candidate-set size after each observation (shrinkage curve)
+        self.history: list[int] = []
+
+    def observe(self, obs: DeliveryObservation) -> set[int]:
+        """Fold one recipient-set observation into the intersection."""
+        self.observations += 1
+        if self._candidates is None:
+            self._candidates = set(obs.recipients)
+        else:
+            self._candidates &= obs.recipients
+        self.history.append(len(self._candidates))
+        return set(self._candidates)
+
+    def observe_all(self, observations: list[DeliveryObservation]) -> set[int]:
+        """Fold a whole observation log; returns the final candidates."""
+        for obs in observations:
+            self.observe(obs)
+        return self.candidates()
+
+    def candidates(self) -> set[int]:
+        """Current candidate set (empty before any observation)."""
+        return set(self._candidates) if self._candidates else set()
+
+    def identified(self, true_destination: int) -> bool:
+        """Attack success: candidate set collapsed to exactly {D}."""
+        return self._candidates == {true_destination}
+
+    def defeated(self, true_destination: int) -> bool:
+        """Defense success: D fell out of the attacker's candidates."""
+        return self._candidates is not None and true_destination not in self._candidates

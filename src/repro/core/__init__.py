@@ -1,0 +1,34 @@
+"""ALERT — the paper's primary contribution.
+
+The core package implements the Anonymous Location-based Efficient
+Routing proTocol: hierarchical zone partitioning (§2.3-2.4), the
+universal RREQ/RREP/NAK packet format (§2.5), the "notify and go"
+source-anonymity mechanism (§2.6), the destination-zone k-anonymity
+broadcast, and the two-step partial multicast that counters
+intersection attacks (§3.3).
+"""
+
+from repro.core.alert import AlertProtocol
+from repro.core.config import AlertConfig
+from repro.core.packet_format import AlertHeader, AlertPacketType
+from repro.core.zones import (
+    Direction,
+    SeparationResult,
+    destination_zone,
+    required_partitions,
+    separate_from_zone,
+    side_lengths,
+)
+
+__all__ = [
+    "AlertProtocol",
+    "AlertConfig",
+    "AlertHeader",
+    "AlertPacketType",
+    "Direction",
+    "SeparationResult",
+    "destination_zone",
+    "required_partitions",
+    "separate_from_zone",
+    "side_lengths",
+]

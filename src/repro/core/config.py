@@ -1,0 +1,93 @@
+"""ALERT configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.zones import Direction
+
+
+@dataclass(frozen=True)
+class AlertConfig:
+    """Tunables of the ALERT protocol.
+
+    Parameters
+    ----------
+    k:
+        Destination k-anonymity target: the expected number of nodes
+        in the destination zone ``Z_D`` (paper §2.3).
+    h_override:
+        Explicit number of partitions ``H``; when ``None`` it is
+        derived as ``H = log2(rho*G/k)`` from the network population.
+    first_direction:
+        Direction of the canonical first split used to compute ``Z_D``
+        (§2.4 assumes vertical first).
+    segment_ttl:
+        Hop budget of each GPSR segment between two random forwarders.
+    max_rf_rounds:
+        Safety bound on partition rounds per packet (≥ H; voids can
+        force a forwarder to re-partition).
+    notify_and_go:
+        Enable the §2.6 source-anonymity mechanism.
+    notify_t, notify_t0:
+        The "notify and go" back-off window: everyone transmits at a
+        random time in ``[t, t + t0]``.
+    cover_size_bytes:
+        Size of neighbors' cover packets ("only several bytes of
+        random data").
+    intersection_defense:
+        Enable the §3.3 two-step partial multicast in ``Z_D``.
+    multicast_m:
+        Number of first-step recipients ``m`` (out of the ~k zone
+        members) when the intersection defense is on.
+    enable_confirmation:
+        Destination returns a confirmation routed back to the source
+        zone ``Z_S``; the source resends unconfirmed packets.
+    confirmation_timeout:
+        Source resend timer, seconds.
+    max_resends:
+        Resend attempts before giving up.
+    charge_session_setup:
+        Charge the one-time public-key wrap of the session key to the
+        first packet's latency (the paper's steady-state latency
+        figures do not include it; see EXPERIMENTS.md).
+    zone_flood:
+        Zone members rebroadcast once inside ``Z_D`` so zones larger
+        than one radio hop are still covered.
+    promiscuous_destination:
+        The destination listens promiscuously and accepts any
+        overheard frame carrying its pseudonym ``P_D`` (that is what
+        the cleartext ``P_D`` field of Fig. 4 is for).  Radio frames
+        are physically receivable by every node in range of the
+        transmitter, so this costs nothing on the air; it is what lets
+        ALERT out-deliver GPSR when the destination has drifted from
+        its last known position (Fig. 16b).
+    """
+
+    k: int = 6
+    h_override: int | None = None
+    first_direction: Direction = Direction.VERTICAL
+    segment_ttl: int = 10
+    max_rf_rounds: int = 12
+    notify_and_go: bool = False
+    notify_t: float = 0.002
+    notify_t0: float = 0.02
+    cover_size_bytes: int = 16
+    intersection_defense: bool = False
+    multicast_m: int = 3
+    enable_confirmation: bool = False
+    confirmation_timeout: float = 1.0
+    max_resends: int = 2
+    charge_session_setup: bool = False
+    zone_flood: bool = True
+    promiscuous_destination: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.h_override is not None and self.h_override < 1:
+            raise ValueError(f"h_override must be >= 1, got {self.h_override}")
+        if self.multicast_m < 1:
+            raise ValueError(f"multicast_m must be >= 1, got {self.multicast_m}")
+        if self.notify_t < 0 or self.notify_t0 <= 0:
+            raise ValueError("notify window must be non-negative / positive")

@@ -1,0 +1,148 @@
+"""ALERT's universal packet format (paper §2.5, Fig. 4).
+
+"Because of the randomized routing nature in ALERT, we have a universal
+format for RREQ/RREP/NAK."  The header mirrors Fig. 4:
+
+==============  =====================================================
+Field           Meaning
+==============  =====================================================
+``ptype``       RREQ / RREP / NAK
+``p_src``       pseudonym of the source (``P_S``)
+``p_dst``       pseudonym of the destination (``P_D``)
+``zone_src``    ``L_{Z_S}``: the H-th partitioned *source* zone,
+                encrypted under the destination's public key (bytes)
+``zone_dst``    ``L_{Z_D}``: the destination zone position (cleartext
+                — every forwarder needs it)
+``td``          the currently selected temporary destination
+``h``           divisions performed so far
+``h_max``       maximum allowed divisions (``H``)
+``wrapped_key`` ``K_s^S`` encrypted under ``K_pub^D`` (session setup)
+``ttl_enc``     ``(TTL)_{K_pub^RN}``: TTL encrypted for the next relay
+                (source-anonymity cover traffic, §2.6)
+``bitmap_enc``  ``(Bitmap)_{K_pub^D}``: altered-bit map for the §3.3
+                intersection defense
+``direction``   the bit flipped by each RF giving the next partition
+                direction
+==============  =====================================================
+
+Routing state that an implementation needs but the paper leaves
+implicit (current GPSR-segment mode, retry counters) lives in the
+mutable ``SegmentState`` companion rather than the header, mirroring
+the header-vs-per-hop-state split of a real stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.zones import Direction
+from repro.geometry.primitives import Point, Rect
+
+
+class AlertPacketType(Enum):
+    """The three roles of the universal packet format."""
+
+    RREQ = "rreq"
+    RREP = "rrep"
+    NAK = "nak"
+
+
+@dataclass
+class SegmentState:
+    """Per-GPSR-segment mutable routing state (not part of Fig. 4)."""
+
+    ttl: int = 10
+    prev_pos: Point | None = None
+    retries: int = 0
+
+
+@dataclass
+class AlertHeader:
+    """The universal ALERT header (Fig. 4)."""
+
+    ptype: AlertPacketType
+    p_src: bytes
+    p_dst: bytes
+    zone_dst: Rect
+    zone_src_enc: bytes
+    td: Point | None
+    h: int
+    h_max: int
+    direction: Direction
+    wrapped_key: bytes = b""
+    ttl_enc: bytes = b""
+    #: chain of encrypted bitmaps; each zone transmission may scramble
+    #: the payload once more, so the destination undoes them in reverse
+    bitmap_chain: list[bytes] = field(default_factory=list)
+    #: session identifier (pseudonymous; lets endpoints pair RREQ/RREP)
+    session: int = 0
+    #: sequence number within the session (drives NAK loss detection)
+    seq: int = 0
+    segment: SegmentState = field(default_factory=SegmentState)
+    #: rounds of partitioning performed (safety bound bookkeeping)
+    rf_rounds: int = 0
+    #: 0 = en route, 1 = zone broadcast/multicast, 2 = zone rebroadcast
+    zone_stage: int = 0
+    #: set once the RF-round budget is exhausted (last-ditch GPSR run)
+    fallback: bool = False
+
+    def flip_direction(self) -> None:
+        """Flip the partition-direction bit (done by each RF, §2.5)."""
+        self.direction = self.direction.flip()
+
+    def clone(self) -> "AlertHeader":
+        """Deep-enough copy for broadcast branches.
+
+        Broadcast forks share the packet's header object; a branch that
+        needs to mutate routing state (zone stage, bitmap chain,
+        segment) must clone first so sibling branches are unaffected.
+        """
+        return AlertHeader(
+            ptype=self.ptype,
+            p_src=self.p_src,
+            p_dst=self.p_dst,
+            zone_dst=self.zone_dst,
+            zone_src_enc=self.zone_src_enc,
+            td=self.td,
+            h=self.h,
+            h_max=self.h_max,
+            direction=self.direction,
+            wrapped_key=self.wrapped_key,
+            ttl_enc=self.ttl_enc,
+            bitmap_chain=list(self.bitmap_chain),
+            session=self.session,
+            seq=self.seq,
+            segment=SegmentState(
+                ttl=self.segment.ttl,
+                prev_pos=self.segment.prev_pos,
+                retries=self.segment.retries,
+            ),
+            rf_rounds=self.rf_rounds,
+            zone_stage=self.zone_stage,
+            fallback=self.fallback,
+        )
+
+
+def header_wire_size(header: AlertHeader, data_bytes: int) -> int:
+    """Approximate on-wire size of an ALERT packet in bytes.
+
+    Field sizes follow Fig. 4's layout: two 20-byte SHA-1 pseudonyms,
+    two zone positions (4 floats each), one TD coordinate, counters,
+    plus the variable-length encrypted fields.
+    """
+    fixed = (
+        20 + 20  # P_S, P_D
+        + 32 + 0  # L_ZD (cleartext rect: 4 × 8-byte floats)
+        + 16  # TD coordinate
+        + 2  # h, H
+        + 1  # direction bit + type tag
+    )
+    return (
+        fixed
+        + len(header.zone_src_enc)
+        + len(header.wrapped_key)
+        + len(header.ttl_enc)
+        + sum(len(b) for b in header.bitmap_chain)
+        + data_bytes
+    )

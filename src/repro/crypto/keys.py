@@ -1,0 +1,145 @@
+"""Key material: RSA-style keypairs and symmetric keys.
+
+Keypairs are textbook RSA over primes found with Miller–Rabin.  The
+default modulus is tiny (64-bit) because these keys exist to exercise
+the protocols' key-distribution paths, not to resist attack; see
+``repro.crypto.cost_model`` for how the *simulated* expense of
+realistic key sizes is charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# Deterministic Miller-Rabin witness sets: these bases are proven
+# sufficient for all n below the stated bounds.
+_MR_WITNESSES_64 = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Miller–Rabin primality test (deterministic for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES_64:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: np.random.Generator) -> int:
+    """Draw a random prime with exactly ``bits`` bits."""
+    if bits < 3:
+        raise ValueError(f"bits must be >= 3, got {bits}")
+    while True:
+        # Force top bit (exact width) and bottom bit (odd).
+        raw = int(rng.integers(0, 1 << (bits - 2), dtype=np.uint64))
+        candidate = (1 << (bits - 1)) | (raw << 1) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public part ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus width in bits."""
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private part ``(n, d)``."""
+
+    n: int
+    d: int
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An RSA keypair owned by one node."""
+
+    public: PublicKey
+    private: PrivateKey
+
+
+def generate_keypair(rng: np.random.Generator, bits: int = 64) -> KeyPair:
+    """Generate a textbook-RSA keypair with a ``bits``-bit modulus.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness (seeded per node).
+    bits:
+        Modulus width; the two primes get ``bits // 2`` bits each.
+    """
+    half = bits // 2
+    e = 65537
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return KeyPair(PublicKey(n, e), PrivateKey(n, d))
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A shared symmetric key (raw bytes).
+
+    In ALERT this is ``K_s^S``: the per-session key the source embeds
+    (public-key-encrypted) in its first packet to the destination.
+    """
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if not self.material:
+            raise ValueError("empty key material")
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator, length: int = 16) -> "SymmetricKey":
+        """Draw ``length`` random key bytes."""
+        return cls(bytes(int(b) for b in rng.integers(0, 256, size=length)))
+
+    def as_int(self) -> int:
+        """Key material as a big-endian integer (for RSA wrapping)."""
+        return int.from_bytes(self.material, "big")
+
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "SymmetricKey":
+        """Rebuild a key from its integer form."""
+        return cls(value.to_bytes(length, "big"))

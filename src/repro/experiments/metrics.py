@@ -1,0 +1,201 @@
+"""Per-flow metrics collection.
+
+One :class:`FlowRecord` per data packet handed to a routing protocol;
+the collector aggregates them into exactly the six metrics of §5.2:
+
+1. number of actual participating nodes,
+2. number of random forwarders,
+3. number of remaining nodes in a destination zone (measured by the
+   zone-membership probes in ``repro.analysis``),
+4. number of hops per packet,
+5. latency per packet,
+6. delivery rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle record of a single data packet (one "flow")."""
+
+    flow_id: int
+    src: int
+    dst: int
+    created_at: float
+    size_bytes: int
+    protocol: str = ""
+    delivered_at: float | None = None
+    dropped_reason: str | None = None
+    #: successful link exchanges carrying this packet (hops metric)
+    tx_count: int = 0
+    #: link-layer attempts including MAC retries (energy proxy)
+    attempts: int = 0
+    #: random forwarders selected en route (ALERT only)
+    rf_count: int = 0
+    #: partitions performed en route (ALERT only)
+    partitions: int = 0
+    #: nodes that transmitted the packet (RFs + relays + source)
+    participants: set[int] = field(default_factory=set)
+    #: delivery path of the (first) delivered branch
+    path: list[int] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet reached its destination."""
+        return self.delivered_at is not None
+
+    @property
+    def latency(self) -> float | None:
+        """End-to-end delay, or ``None`` if undelivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+
+class MetricsCollector:
+    """Accumulates flow records and miscellaneous counters for one run."""
+
+    def __init__(self) -> None:
+        self._flows: dict[int, FlowRecord] = {}
+        self._order: list[int] = []
+        self._next_id = 1
+        #: free-form counters (cover traffic, dissemination receptions…)
+        self.counters: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def start_flow(
+        self, src: int, dst: int, now: float, size_bytes: int, protocol: str = ""
+    ) -> int:
+        """Open a record for a new data packet; returns its flow id."""
+        fid = self._next_id
+        self._next_id += 1
+        self._flows[fid] = FlowRecord(
+            flow_id=fid,
+            src=src,
+            dst=dst,
+            created_at=now,
+            size_bytes=size_bytes,
+            protocol=protocol,
+        )
+        self._order.append(fid)
+        return fid
+
+    def flow(self, flow_id: int) -> FlowRecord:
+        """The record for ``flow_id`` (KeyError if unknown)."""
+        return self._flows[flow_id]
+
+    def record_tx(self, flow_id: int | None, attempts: int, success: bool) -> None:
+        """Link-layer exchange notification (wired to ``Network.tx_listener``)."""
+        if flow_id is None or flow_id not in self._flows:
+            return
+        rec = self._flows[flow_id]
+        rec.attempts += attempts
+        if success:
+            rec.tx_count += 1
+
+    def record_participant(self, flow_id: int, node_id: int) -> None:
+        """A node transmitted (relayed/forwarded) the packet."""
+        rec = self._flows.get(flow_id)
+        if rec is not None:
+            rec.participants.add(node_id)
+
+    def record_rf(self, flow_id: int, node_id: int) -> None:
+        """A random forwarder was selected for this packet."""
+        rec = self._flows.get(flow_id)
+        if rec is not None:
+            rec.rf_count += 1
+            rec.participants.add(node_id)
+
+    def record_partitions(self, flow_id: int, n: int) -> None:
+        """``n`` zone partitions were performed at one forwarder."""
+        rec = self._flows.get(flow_id)
+        if rec is not None:
+            rec.partitions += n
+
+    def record_delivery(
+        self, flow_id: int, now: float, path: list[int] | None = None
+    ) -> None:
+        """First delivery of the packet at its true destination."""
+        rec = self._flows.get(flow_id)
+        if rec is None or rec.delivered_at is not None:
+            return
+        rec.delivered_at = now
+        if path is not None:
+            rec.path = list(path)
+
+    def record_drop(self, flow_id: int, reason: str) -> None:
+        """Terminal drop (only recorded if not already delivered)."""
+        rec = self._flows.get(flow_id)
+        if rec is not None and rec.delivered_at is None and rec.dropped_reason is None:
+            rec.dropped_reason = reason
+
+    def note(self, key: str, amount: float = 1.0) -> None:
+        """Bump a free-form counter."""
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def flows(self) -> list[FlowRecord]:
+        """All flow records, in creation order."""
+        return [self._flows[fid] for fid in self._order]
+
+    @property
+    def packets_sent(self) -> int:
+        """Number of data packets handed to the protocol."""
+        return len(self._order)
+
+    def delivery_rate(self) -> float:
+        """Fraction of packets delivered (§5.2 metric 6)."""
+        if not self._order:
+            return 0.0
+        return sum(1 for f in self.flows() if f.delivered) / len(self._order)
+
+    def mean_latency(self) -> float:
+        """Mean end-to-end delay over delivered packets (metric 5)."""
+        lats = [f.latency for f in self.flows() if f.latency is not None]
+        if not lats:
+            return float("nan")
+        return sum(lats) / len(lats)
+
+    def mean_hops(self) -> float:
+        """Accumulated hop counts / packets sent (metric 4).
+
+        The paper divides by packets *sent*, so undelivered packets'
+        partial hops count in the numerator.
+        """
+        if not self._order:
+            return float("nan")
+        return sum(f.tx_count for f in self.flows()) / len(self._order)
+
+    def mean_rf_count(self, delivered_only: bool = True) -> float:
+        """Mean number of random forwarders per packet (metric 2)."""
+        flows = [f for f in self.flows() if f.delivered or not delivered_only]
+        if not flows:
+            return float("nan")
+        return sum(f.rf_count for f in flows) / len(flows)
+
+    def participating_nodes(self) -> set[int]:
+        """Union of participants over every packet (metric 1)."""
+        out: set[int] = set()
+        for f in self.flows():
+            out |= f.participants
+        return out
+
+    def cumulative_participants(self) -> list[int]:
+        """Cumulative distinct participants after each packet, in order.
+
+        This is the y-series of Fig. 10a ("cumulated actual
+        participating nodes" vs number of packets transmitted).
+        """
+        seen: set[int] = set()
+        series: list[int] = []
+        for f in self.flows():
+            seen |= f.participants
+            series.append(len(seen))
+        return series

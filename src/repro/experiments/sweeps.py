@@ -1,0 +1,81 @@
+"""Parameter sweeps: the engine behind every simulation figure.
+
+``sweep_metric`` runs a grid of (protocol × x-value) cells, each
+averaged over seeds, and returns mean/CI series ready for
+:func:`repro.experiments.tables.format_series_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, aggregate, run_many
+
+
+MetricFn = Callable[[RunResult], float]
+
+
+def sweep_metric(
+    base: ExperimentConfig,
+    x_field: str,
+    x_values: Sequence[Any],
+    protocols: Sequence[str],
+    metric: MetricFn,
+    runs: int | None = None,
+    max_packets_per_pair: int | None = None,
+    extra_overrides: Mapping[str, Mapping[str, Any]] | None = None,
+) -> tuple[dict[str, list[float]], dict[str, list[float]]]:
+    """Sweep ``x_field`` over ``x_values`` for each protocol.
+
+    Parameters
+    ----------
+    base:
+        Baseline config; each cell applies ``{x_field: value,
+        protocol: p}`` on top.
+    metric:
+        Extractor from a finished :class:`RunResult`.
+    extra_overrides:
+        Optional per-protocol config overrides (e.g. ALERT options).
+
+    Returns
+    -------
+    (means, cis):
+        Series name → list over ``x_values``.
+    """
+    means: dict[str, list[float]] = {p: [] for p in protocols}
+    cis: dict[str, list[float]] = {p: [] for p in protocols}
+    for value in x_values:
+        for proto in protocols:
+            overrides: dict[str, Any] = {x_field: value, "protocol": proto}
+            if extra_overrides and proto in extra_overrides:
+                overrides.update(extra_overrides[proto])
+            cfg = base.with_(**overrides)
+            results = run_many(
+                cfg, runs=runs, max_packets_per_pair=max_packets_per_pair
+            )
+            mean, ci = aggregate([metric(r) for r in results])
+            means[proto].append(mean)
+            cis[proto].append(ci)
+    return means, cis
+
+
+def sweep_single(
+    base: ExperimentConfig,
+    x_field: str,
+    x_values: Sequence[Any],
+    metric: MetricFn,
+    runs: int | None = None,
+    max_packets_per_pair: int | None = None,
+) -> tuple[list[float], list[float]]:
+    """One-protocol sweep; returns (means, cis) over ``x_values``."""
+    means, cis = sweep_metric(
+        base,
+        x_field,
+        x_values,
+        [base.protocol],
+        metric,
+        runs=runs,
+        max_packets_per_pair=max_packets_per_pair,
+    )
+    return means[base.protocol], cis[base.protocol]

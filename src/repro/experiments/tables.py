@@ -1,0 +1,88 @@
+"""Paper-style text tables for benchmark output.
+
+Every benchmark prints its figure's data as one of these tables so the
+"rows/series the paper reports" are regenerated verbatim-shaped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def _fmt(value: float, ci: float | None = None, digits: int = 3) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    base = f"{value:.{digits}f}" if isinstance(value, float) else str(value)
+    if ci is not None and not (isinstance(ci, float) and math.isnan(ci)):
+        return f"{base} ±{ci:.{digits}f}"
+    return base
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    columns: Mapping[str, Sequence[float]],
+    cis: Mapping[str, Sequence[float]] | None = None,
+    digits: int = 3,
+) -> str:
+    """Render an x-vs-series table.
+
+    Parameters
+    ----------
+    title:
+        Heading line (e.g. ``"Fig. 14a — latency per packet (s)"``).
+    x_label:
+        Name of the x column.
+    xs:
+        The x values (one row each).
+    columns:
+        Series name → y values (same length as ``xs``).
+    cis:
+        Optional series name → CI half-widths, rendered as ``±``.
+    digits:
+        Float precision.
+    """
+    names = list(columns)
+    for name in names:
+        if len(columns[name]) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(columns[name])} points, "
+                f"expected {len(xs)}"
+            )
+    cells: list[list[str]] = []
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for name in names:
+            ci = None
+            if cis is not None and name in cis:
+                ci = cis[name][i]
+            row.append(_fmt(columns[name][i], ci, digits))
+        cells.append(row)
+
+    headers = [x_label] + names
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        title,
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, pairs: Mapping[str, object]) -> str:
+    """Render a simple key/value block (used for scalar results)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title]
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            lines.append(f"  {k.ljust(width)}  {v:.4f}")
+        else:
+            lines.append(f"  {k.ljust(width)}  {v}")
+    return "\n".join(lines)

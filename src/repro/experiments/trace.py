@@ -1,0 +1,74 @@
+"""ASCII field rendering: see where a route actually went.
+
+Handy in examples and debugging: renders the field as a character
+grid with node positions, one or more routes, and the destination
+zone.  Purely a presentation helper — nothing simulates here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.primitives import Rect
+from repro.net.network import Network
+
+
+def render_field(
+    network: Network,
+    routes: Sequence[Sequence[int]] = (),
+    zone: Rect | None = None,
+    width: int = 60,
+    height: int = 24,
+    mark_nodes: bool = True,
+) -> str:
+    """Render the network field as an ASCII grid.
+
+    * ``.`` — an idle node,
+    * ``1``-``9`` — a node on the 1st..9th given route (later routes
+      win ties; route endpoints render as ``S`` and ``D``),
+    * ``#`` — the destination-zone outline.
+
+    Coordinates are scaled to the grid; y grows downward on screen but
+    the rendering flips it so north is up.
+    """
+    fld = network.field
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        cx = min(int(x / fld.width * width), width - 1)
+        cy = min(int(y / fld.height * height), height - 1)
+        return cx, height - 1 - cy
+
+    if zone is not None:
+        x0, y0 = cell(zone.x0, zone.y0)
+        x1, y1 = cell(zone.x1 - 1e-9, zone.y1 - 1e-9)
+        for cx in range(min(x0, x1), max(x0, x1) + 1):
+            for cy in (y0, y1):
+                grid[cy][cx] = "#"
+        for cy in range(min(y0, y1), max(y0, y1) + 1):
+            for cx in (x0, x1):
+                grid[cy][cx] = "#"
+
+    if mark_nodes:
+        now = network.engine.now
+        for node in network.nodes:
+            p = node.position(now)
+            cx, cy = cell(p.x, p.y)
+            if grid[cy][cx] == " ":
+                grid[cy][cx] = "."
+
+    now = network.engine.now
+    for i, route in enumerate(routes[:9], start=1):
+        for j, nid in enumerate(route):
+            p = network.nodes[nid].position(now)
+            cx, cy = cell(p.x, p.y)
+            if j == 0:
+                grid[cy][cx] = "S"
+            elif j == len(route) - 1:
+                grid[cy][cx] = "D"
+            else:
+                grid[cy][cx] = str(i)
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"

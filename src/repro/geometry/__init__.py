@@ -1,0 +1,7 @@
+"""Planar geometry primitives, the network field, and spatial indexing."""
+
+from repro.geometry.field import Field
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.spatial_index import GridIndex
+
+__all__ = ["Point", "Rect", "Field", "GridIndex"]

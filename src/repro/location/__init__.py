@@ -1,0 +1,14 @@
+"""Secure location service (paper §2.2).
+
+"We assume that the public key and location of the destination of a
+data transmission can be known by others, but its real identity
+requires protection."  The service provides each node's (position,
+public key) on a signed request, with replicated servers that are
+allowed to fail, and a *destination update* toggle that drives the
+with/without-update comparisons of Figs. 14b, 15b, and 16b.
+"""
+
+from repro.location.server import LocationRecord, LocationServer
+from repro.location.service import LocationService, LookupError_
+
+__all__ = ["LocationServer", "LocationRecord", "LocationService", "LookupError_"]

@@ -1,0 +1,121 @@
+"""Mobility model interface and the shared trajectory machinery."""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.geometry.primitives import Point
+
+
+class MobilityModel(ABC):
+    """A node's position as a function of simulated time.
+
+    Implementations must be deterministic given their construction
+    arguments (including any RNG state captured at construction) and
+    must support arbitrary, including non-monotone, time queries.
+    """
+
+    @abstractmethod
+    def position(self, t: float) -> Point:
+        """Position of the node at time ``t`` (seconds, ``t >= 0``)."""
+
+    def speed(self) -> float:
+        """Nominal speed in m/s (0 for static models); diagnostic only."""
+        return 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One constant-velocity leg of a trajectory.
+
+    The node moves from ``start`` at ``t0`` to ``end`` at ``t1``;
+    ``t0 == t1`` encodes a pause at ``start``.
+    """
+
+    t0: float
+    t1: float
+    start: Point
+    end: Point
+
+    def at(self, t: float) -> Point:
+        """Interpolated position at ``t`` within ``[t0, t1]``."""
+        if self.t1 <= self.t0:
+            return self.start
+        u = (t - self.t0) / (self.t1 - self.t0)
+        u = min(max(u, 0.0), 1.0)
+        return Point(
+            self.start.x + (self.end.x - self.start.x) * u,
+            self.start.y + (self.end.y - self.start.y) * u,
+        )
+
+
+class Trajectory:
+    """A lazily-extended piecewise-linear path.
+
+    Subclass models append legs on demand via the ``_extend`` hook;
+    queries bisect into the accumulated segment list so repeated and
+    backward queries are O(log segments).
+    """
+
+    def __init__(self, origin: Point) -> None:
+        self._segments: list[Segment] = []
+        self._ends: list[float] = []  # parallel array of segment t1 values
+        self._origin = origin
+        self._horizon = 0.0
+        # Query cache: simulation queries are near-monotone and legs are
+        # long (a 2 m/s leg across a 1 km field lasts minutes), so the
+        # last segment answers almost every lookup without a bisect.
+        self._last_idx = 0
+
+    @property
+    def horizon(self) -> float:
+        """Time up to which the trajectory has been materialised."""
+        return self._horizon
+
+    def append(self, seg: Segment) -> None:
+        """Append a leg; legs must be contiguous in time."""
+        if self._segments and abs(seg.t0 - self._horizon) > 1e-9:
+            raise ValueError(
+                f"non-contiguous segment: starts {seg.t0}, horizon {self._horizon}"
+            )
+        self._segments.append(seg)
+        self._ends.append(seg.t1)
+        self._horizon = seg.t1
+
+    def ensure(self, t: float, extend) -> None:
+        """Materialise legs until the horizon covers ``t``.
+
+        ``extend`` is a zero-argument callable appending at least one
+        leg per call (supplied by the owning model).
+        """
+        guard = 0
+        while self._horizon < t:
+            before = self._horizon
+            extend()
+            if self._horizon <= before:
+                guard += 1
+                if guard > 3:
+                    raise RuntimeError("trajectory extend() made no progress")
+            else:
+                guard = 0
+
+    def at(self, t: float) -> Point:
+        """Position at time ``t`` (must be within the horizon)."""
+        segments = self._segments
+        if not segments:
+            return self._origin
+        # Fast path: the segment that answered the previous query.
+        i = self._last_idx
+        if i < len(segments):
+            seg = segments[i]
+            if seg.t0 <= t <= seg.t1:
+                return seg.at(t)
+        if t <= segments[0].t0:
+            return segments[0].start
+        i = bisect.bisect_left(self._ends, t)
+        if i >= len(segments):
+            return segments[-1].end
+        self._last_idx = i
+        return segments[i].at(t)

@@ -1,0 +1,115 @@
+"""Reference-point group mobility (RPGM; Hong et al., ref. [18]).
+
+Each group has a logical *reference point* (group center) that itself
+follows random-waypoint motion across the field.  Every member holds a
+private random-waypoint motion inside a square of half-side
+``group_range`` centred on the reference point; its absolute position
+is the vector sum, clamped to the field.  This matches the paper's
+configuration "movement range of each group to 150 m with 10 groups and
+to 200 m with five groups" (§5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.field import Field
+from repro.geometry.primitives import Point
+from repro.mobility.base import MobilityModel
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+class GroupReference:
+    """The shared moving reference point of one group."""
+
+    def __init__(
+        self,
+        field: Field,
+        rng: np.random.Generator,
+        speed_min: float,
+        speed_max: float,
+    ) -> None:
+        self._motion = RandomWaypoint(
+            field, rng, speed_min=speed_min, speed_max=speed_max
+        )
+
+    def position(self, t: float) -> Point:
+        """Reference-point position at ``t``."""
+        return self._motion.position(t)
+
+
+class GroupMobility(MobilityModel):
+    """One member of an RPGM group.
+
+    Parameters
+    ----------
+    field:
+        Global deployment area (absolute positions are clamped to it).
+    reference:
+        The group's shared :class:`GroupReference`.
+    group_range:
+        Half-side of the local movement square around the reference
+        point ("movement range" in the paper), metres.
+    rng:
+        Private random stream for the member's local motion.
+    local_speed:
+        Speed of the member's motion relative to the reference point.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        reference: GroupReference,
+        group_range: float,
+        rng: np.random.Generator,
+        local_speed: float = 1.0,
+    ) -> None:
+        if group_range <= 0:
+            raise ValueError(f"group_range must be positive, got {group_range!r}")
+        self.field = field
+        self.reference = reference
+        self.group_range = group_range
+        local_field = Field(2 * group_range, 2 * group_range)
+        self._local = RandomWaypoint(
+            local_field, rng, speed_min=local_speed, speed_max=local_speed
+        )
+
+    def position(self, t: float) -> Point:
+        """Absolute position: reference + local offset, clamped to field."""
+        center = self.reference.position(t)
+        local = self._local.position(t)
+        p = Point(
+            center.x + local.x - self.group_range,
+            center.y + local.y - self.group_range,
+        )
+        return self.field.clamp(p)
+
+    def speed(self) -> float:
+        return self._local.speed()
+
+
+def make_group_mobility(
+    field: Field,
+    n_nodes: int,
+    n_groups: int,
+    group_range: float,
+    rng: np.random.Generator,
+    speed_min: float = 2.0,
+    speed_max: float = 2.0,
+    local_speed: float = 1.0,
+) -> list[GroupMobility]:
+    """Build RPGM motions for ``n_nodes`` split evenly into ``n_groups``.
+
+    Nodes are assigned to groups round-robin so group sizes differ by
+    at most one.  Returns one :class:`GroupMobility` per node, in node
+    order.
+    """
+    if n_groups <= 0 or n_groups > n_nodes:
+        raise ValueError(f"need 1 <= n_groups <= n_nodes, got {n_groups}")
+    references = [
+        GroupReference(field, rng, speed_min, speed_max) for _ in range(n_groups)
+    ]
+    return [
+        GroupMobility(field, references[i % n_groups], group_range, rng, local_speed)
+        for i in range(n_nodes)
+    ]

@@ -1,0 +1,24 @@
+"""A trivially static mobility model (speed 0)."""
+
+from __future__ import annotations
+
+from repro.geometry.primitives import Point
+from repro.mobility.base import MobilityModel
+
+
+class StaticPosition(MobilityModel):
+    """A node that never moves.
+
+    Used for v = 0 configurations (paper Fig. 13a includes speed 0)
+    and for location-server placement.
+    """
+
+    def __init__(self, origin: Point) -> None:
+        self._origin = origin
+
+    def position(self, t: float) -> Point:
+        """The fixed origin, for any ``t``."""
+        return self._origin
+
+    def speed(self) -> float:
+        return 0.0

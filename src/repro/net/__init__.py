@@ -1,0 +1,31 @@
+"""Wireless MANET substrate.
+
+This package stands in for NS-2.29 + 802.11 in the paper's testbed:
+a unit-disk radio (250 m default), a DCF-style contention MAC with
+binary-exponential backoff and retry-limited loss, hello-beacon
+neighbor discovery, CBR traffic sources, and the :class:`Network`
+container that wires nodes, mobility, and the event engine together.
+"""
+
+from repro.net.energy import EnergyModel
+from repro.net.mac import Mac80211Dcf, MacOutcome
+from repro.net.neighbor_table import NeighborEntry, NeighborTable
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.net.radio import RadioModel
+from repro.net.traffic import CbrSource
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "RadioModel",
+    "Mac80211Dcf",
+    "MacOutcome",
+    "Node",
+    "NeighborTable",
+    "NeighborEntry",
+    "CbrSource",
+    "Network",
+    "EnergyModel",
+]

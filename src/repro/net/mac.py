@@ -1,0 +1,138 @@
+"""A DCF-style contention MAC.
+
+This is the substitution for NS-2's 802.11 implementation (see
+DESIGN.md §2): a stochastic model of the Distributed Coordination
+Function that reproduces the *statistics* routing cares about —
+
+* per-hop delay = DIFS + binary-exponential backoff + frame airtime
+  (+ SIFS + ACK for unicast),
+* load-dependent collision probability with retry-limited loss,
+* broadcasts unacknowledged (single attempt, as in 802.11).
+
+The collision probability per attempt follows the standard
+``1 - exp(-load)`` thinning of concurrent in-flight transmissions in
+the sender's neighborhood, which the :class:`~repro.net.network.Network`
+tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.radio import RadioModel
+
+
+@dataclass(frozen=True)
+class MacOutcome:
+    """Result of one link-layer exchange."""
+
+    success: bool
+    delay_s: float
+    attempts: int
+
+
+class Mac80211Dcf:
+    """802.11-DCF-like contention model.
+
+    Parameters
+    ----------
+    radio:
+        Shared physical-layer parameters.
+    rng:
+        Random stream for backoff draws and loss coin-flips.
+    slot_s, difs_s, sifs_s:
+        DCF timing constants (802.11 classic values by default).
+    cw_min, cw_max:
+        Contention-window bounds in slots.
+    max_retries:
+        Unicast retry limit before the frame is dropped.
+    ack_bytes:
+        ACK frame payload-equivalent size.
+    base_loss:
+        Residual per-attempt channel error probability (fading etc.).
+    collision_scale:
+        Sensitivity of collision probability to concurrent in-flight
+        transmissions: ``p = 1 - exp(-load / collision_scale)``.
+    """
+
+    def __init__(
+        self,
+        radio: RadioModel,
+        rng: np.random.Generator,
+        slot_s: float = 20e-6,
+        difs_s: float = 50e-6,
+        sifs_s: float = 10e-6,
+        cw_min: int = 31,
+        cw_max: int = 1023,
+        max_retries: int = 7,
+        ack_bytes: int = 14,
+        base_loss: float = 0.005,
+        collision_scale: float = 4.0,
+    ) -> None:
+        self.radio = radio
+        self._rng = rng
+        self.slot_s = slot_s
+        self.difs_s = difs_s
+        self.sifs_s = sifs_s
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self.max_retries = max_retries
+        self.ack_bytes = ack_bytes
+        self.base_loss = base_loss
+        self.collision_scale = collision_scale
+        # counters (diagnostics / energy accounting)
+        self.attempts_total = 0
+        self.collisions_total = 0
+        self.drops_total = 0
+
+    # ------------------------------------------------------------------
+    def _attempt_failure_prob(self, local_load: float) -> float:
+        """Probability one attempt fails given concurrent load."""
+        p_col = 1.0 - float(np.exp(-max(local_load, 0.0) / self.collision_scale))
+        return min(p_col + self.base_loss, 0.95)
+
+    def _backoff(self, attempt: int) -> float:
+        """Backoff delay for the given retry number (0-based)."""
+        cw = min(self.cw_min * (2**attempt), self.cw_max)
+        slots = int(self._rng.integers(0, cw + 1))
+        return self.difs_s + slots * self.slot_s
+
+    # ------------------------------------------------------------------
+    def unicast(
+        self, payload_bytes: int, distance_m: float, local_load: float
+    ) -> MacOutcome:
+        """Simulate an acknowledged unicast exchange.
+
+        Returns the total delay including failed attempts; ``success``
+        is ``False`` when the retry limit is exhausted.
+        """
+        airtime = self.radio.tx_time(payload_bytes)
+        ack_time = self.radio.tx_time(self.ack_bytes)
+        prop = self.radio.propagation_delay(distance_m)
+        p_fail = self._attempt_failure_prob(local_load)
+        delay = 0.0
+        for attempt in range(self.max_retries + 1):
+            self.attempts_total += 1
+            delay += self._backoff(attempt) + airtime + prop
+            if self._rng.random() >= p_fail:
+                delay += self.sifs_s + ack_time + prop
+                return MacOutcome(True, delay, attempt + 1)
+            self.collisions_total += 1
+        self.drops_total += 1
+        return MacOutcome(False, delay, self.max_retries + 1)
+
+    def broadcast(self, payload_bytes: int, local_load: float) -> MacOutcome:
+        """Simulate an unacknowledged local broadcast (one attempt).
+
+        ``success`` reflects whether the frame escaped collision; a
+        failed broadcast is silently lost (as in 802.11).
+        """
+        airtime = self.radio.tx_time(payload_bytes)
+        self.attempts_total += 1
+        delay = self._backoff(0) + airtime
+        if self._rng.random() >= self._attempt_failure_prob(local_load):
+            return MacOutcome(True, delay, 1)
+        self.collisions_total += 1
+        return MacOutcome(False, delay, 1)

@@ -1,0 +1,87 @@
+"""Hello-beacon neighbor discovery (paper §2.2).
+
+"Each node periodically piggybacks its updated position and pseudonym
+to 'hello' messages, and sends the messages to its neighbors.  Also,
+every node maintains a routing table that keeps its neighbors'
+pseudonyms associated with their locations."
+
+Entries carry the advertised pseudonym, position, and public key as of
+the last beacon, so forwarding decisions are made on (slightly stale)
+advertised state, not oracle truth — staleness grows with node speed,
+which is what degrades routing at 8 m/s in Figs. 15b/16b.
+
+``link_address`` is the simulator's stand-in for "the radio address the
+beacon came from": protocols may use it to hand a frame back to the
+link layer, but must never treat it as an identity (the pseudonym is
+the identity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey
+from repro.geometry.primitives import Point
+
+
+@dataclass
+class NeighborEntry:
+    """One row of a node's neighbor table."""
+
+    link_address: int
+    pseudonym: bytes
+    position: Point
+    public_key: PublicKey
+    last_seen: float
+
+
+class NeighborTable:
+    """A node's view of its one-hop neighborhood.
+
+    Parameters
+    ----------
+    ttl:
+        Entries older than ``ttl`` seconds are treated as gone (the
+        neighbor moved away or died); typically 2-3 hello intervals.
+    """
+
+    def __init__(self, ttl: float = 3.0) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl!r}")
+        self.ttl = ttl
+        self._entries: dict[int, NeighborEntry] = {}
+
+    def update(self, entry: NeighborEntry) -> None:
+        """Insert or refresh the row for ``entry.link_address``."""
+        self._entries[entry.link_address] = entry
+
+    def remove(self, link_address: int) -> None:
+        """Drop a row (e.g., after repeated link-layer failures)."""
+        self._entries.pop(link_address, None)
+
+    def live_entries(self, now: float) -> list[NeighborEntry]:
+        """All non-expired rows, sorted by link address (deterministic)."""
+        cutoff = now - self.ttl
+        return [
+            e
+            for addr, e in sorted(self._entries.items())
+            if e.last_seen >= cutoff
+        ]
+
+    def get(self, link_address: int, now: float) -> NeighborEntry | None:
+        """The live row for ``link_address``, or ``None``."""
+        e = self._entries.get(link_address)
+        if e is None or e.last_seen < now - self.ttl:
+            return None
+        return e
+
+    def purge(self, now: float) -> int:
+        """Physically delete expired rows; returns how many were removed."""
+        cutoff = now - self.ttl
+        dead = [a for a, e in self._entries.items() if e.last_seen < cutoff]
+        for a in dead:
+            del self._entries[a]
+        return len(dead)
+
+    def __len__(self) -> int:
+        return len(self._entries)

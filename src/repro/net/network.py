@@ -1,0 +1,388 @@
+"""The Network container: nodes + radio + MAC + event engine.
+
+``Network`` is the simulation's link layer.  It owns the node array,
+maintains time-indexed position snapshots (with a uniform-grid spatial
+index), tracks concurrent in-flight transmissions for MAC contention,
+and exposes exactly two communication primitives to protocols:
+
+* :meth:`unicast` — an acknowledged one-hop frame exchange, and
+* :meth:`local_broadcast` — an unacknowledged one-hop broadcast,
+
+plus hello-beacon neighbor discovery.  Everything above (GPSR, ALERT,
+ALARM, AO2P) is built from these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.crypto.keys import generate_keypair
+from repro.geometry.field import Field
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.spatial_index import GridIndex
+from repro.mobility.base import MobilityModel
+from repro.net.mac import Mac80211Dcf, MacOutcome
+from repro.net.neighbor_table import NeighborEntry
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.radio import RadioModel
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicTask
+
+#: Called after every link-layer exchange: (flow_id, attempts, success).
+TxListener = Callable[[int | None, int, bool], None]
+
+
+class Network:
+    """A MANET instance.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine driving this network.
+    field:
+        Deployment area.
+    mobility_factory:
+        ``(node_id, rng) -> MobilityModel`` builder, called once per
+        node with a per-node random stream.
+    n_nodes:
+        Number of nodes.
+    radio:
+        Physical-layer parameters (250 m unit disk by default).
+    hello_interval:
+        Beacon period, seconds.
+    snapshot_resolution:
+        Maximum staleness of the cached position snapshot; at the
+        paper's top speed (8 m/s) the default 0.2 s bounds the
+        position error to 1.6 m, negligible against a 250 m radius.
+    keypair_bits:
+        RSA modulus width for node keypairs (functional toy keys;
+        realistic key *cost* is charged by the crypto cost model).
+    carrier_sense_factor:
+        Carrier-sense radius as a multiple of the transmission range
+        (802.11's ~2.2× is the default) for the contention-load count.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        field: Field,
+        mobility_factory: Callable[[int, np.random.Generator], MobilityModel],
+        n_nodes: int,
+        radio: RadioModel | None = None,
+        hello_interval: float = 1.0,
+        snapshot_resolution: float = 0.2,
+        keypair_bits: int = 64,
+        carrier_sense_factor: float = 2.2,
+        neighbor_ttl: float | None = None,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self.engine = engine
+        self.field = field
+        self.radio = radio if radio is not None else RadioModel()
+        self.hello_interval = hello_interval
+        self.snapshot_resolution = snapshot_resolution
+        self.cs_range = carrier_sense_factor * self.radio.range_m
+        self.mac = Mac80211Dcf(self.radio, engine.rng.stream("mac"))
+        ttl = neighbor_ttl if neighbor_ttl is not None else 3.0 * hello_interval
+
+        key_rng = engine.rng.stream("keys")
+        self.nodes: list[Node] = []
+        for i in range(n_nodes):
+            node_rng = engine.rng.stream(f"node-{i}")
+            mobility = mobility_factory(i, node_rng)
+            keypair = generate_keypair(key_rng, bits=keypair_bits)
+            self.nodes.append(
+                Node(i, mobility, keypair, node_rng, neighbor_ttl=ttl)
+            )
+
+        # Position snapshot cache.
+        self._snapshot_time: float = -1.0
+        self._snapshot_positions: np.ndarray | None = None
+        self._snapshot_index: GridIndex | None = None
+
+        # In-flight transmissions for contention: (end_time, x, y).
+        self._in_flight: list[tuple[float, float, float]] = []
+
+        #: pluggable metrics sink
+        self.tx_listener: TxListener | None = None
+        self._hello_tasks: list[PeriodicTask] = []
+        #: counters
+        self.hello_tx = 0
+        self.unicast_tx = 0
+        self.broadcast_tx = 0
+        #: cumulative radio airtime (seconds) for energy accounting
+        self.airtime_tx_s = 0.0
+        self.airtime_rx_s = 0.0
+        #: size of a hello beacon frame on the air, bytes
+        self.hello_size_bytes = 32
+
+    # ------------------------------------------------------------------
+    # positions and snapshots
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the network."""
+        return len(self.nodes)
+
+    def position_of(self, node_id: int) -> Point:
+        """Exact position of a node at the current simulation time."""
+        return self.nodes[node_id].position(self.engine.now)
+
+    def snapshot(self) -> tuple[np.ndarray, GridIndex]:
+        """Cached (positions, spatial index) at the current time.
+
+        Rebuilt when older than ``snapshot_resolution`` seconds.
+        """
+        now = self.engine.now
+        if (
+            self._snapshot_index is None
+            or now - self._snapshot_time > self.snapshot_resolution
+        ):
+            pos = np.empty((self.n_nodes, 2), dtype=np.float64)
+            for node in self.nodes:
+                p = node.position(now)
+                pos[node.id, 0] = p.x
+                pos[node.id, 1] = p.y
+            self._snapshot_positions = pos
+            self._snapshot_index = GridIndex(pos, self.radio.range_m)
+            self._snapshot_time = now
+        assert self._snapshot_positions is not None
+        assert self._snapshot_index is not None
+        return self._snapshot_positions, self._snapshot_index
+
+    def neighbors_of(self, node_id: int) -> list[int]:
+        """Oracle: live node ids within radio range now (excl. self)."""
+        _, index = self.snapshot()
+        p = self.position_of(node_id)
+        hits = index.query_radius(p.x, p.y, self.radio.range_m)
+        return [
+            int(i) for i in hits if i != node_id and self.nodes[i].active
+        ]
+
+    def nodes_in_rect(self, rect: Rect) -> list[int]:
+        """Oracle: node ids currently inside ``rect`` (half-open)."""
+        _, index = self.snapshot()
+        return [int(i) for i in index.query_rect(rect.x0, rect.y0, rect.x1, rect.y1)]
+
+    def node_nearest_to(self, point: Point, exclude: int | None = None) -> int:
+        """Oracle: id of the node nearest to ``point``."""
+        _, index = self.snapshot()
+        return index.nearest(point.x, point.y, exclude=exclude)
+
+    # ------------------------------------------------------------------
+    # contention load
+    # ------------------------------------------------------------------
+    def _local_load(self, around: Point) -> float:
+        """Concurrent in-flight transmissions within carrier sense."""
+        now = self.engine.now
+        if self._in_flight:
+            self._in_flight = [e for e in self._in_flight if e[0] > now]
+        cs2 = self.cs_range * self.cs_range
+        count = 0
+        for _, x, y in self._in_flight:
+            dx = x - around.x
+            dy = y - around.y
+            if dx * dx + dy * dy <= cs2:
+                count += 1
+        return float(count)
+
+    def _register_tx(self, origin: Point, duration: float) -> None:
+        self._in_flight.append((self.engine.now + duration, origin.x, origin.y))
+
+    # ------------------------------------------------------------------
+    # communication primitives
+    # ------------------------------------------------------------------
+    def unicast(
+        self,
+        sender_id: int,
+        receiver_id: int,
+        packet: Packet,
+        on_delivered: Callable[[Node], None] | None = None,
+        on_failed: Callable[[str], None] | None = None,
+        flow: int | None = None,
+        overhear_fork: tuple[int, Packet] | None = None,
+    ) -> None:
+        """One-hop acknowledged frame exchange.
+
+        Failure modes: the receiver is out of range (stale neighbor
+        table) or the MAC retry limit is exhausted.  Delivery invokes
+        the receiver's protocol hook and then ``on_delivered``; failure
+        invokes ``on_failed(reason)`` after the wasted airtime elapses.
+
+        ``overhear_fork`` optionally names a promiscuous listener: if
+        that ``(node_id, prepared_packet)`` target is in range of the
+        sender when the frame goes on the air, the prepared packet is
+        delivered to it with the same MAC timing as the exchange —
+        radio frames are broadcast by nature, ACKed or not.
+        """
+        if sender_id == receiver_id:
+            raise ValueError("unicast to self")
+        sender = self.nodes[sender_id]
+        receiver = self.nodes[receiver_id]
+        now = self.engine.now
+        spos = sender.position(now)
+        rpos = receiver.position(now)
+        dist = spos.distance_to(rpos)
+        packet.record_visit(sender_id)
+
+        if not receiver.active:
+            # Compromised / disabled node: frames go unacknowledged.
+            outcome = MacOutcome(False, self.radio.tx_time(packet.size_bytes), 1)
+            reason = "dead-receiver"
+        elif not self.radio.in_range(dist):
+            # All retries burn airtime with no receiver in range.
+            outcome = MacOutcome(False, self.radio.tx_time(packet.size_bytes), 1)
+            reason = "out-of-range"
+        else:
+            outcome = self.mac.unicast(
+                packet.size_bytes, dist, self._local_load(spos)
+            )
+            reason = "retry-exhausted"
+
+        sender.tx_count += outcome.attempts
+        packet.transmissions += outcome.attempts
+        self.unicast_tx += outcome.attempts
+        airtime = self.radio.tx_time(packet.size_bytes)
+        self.airtime_tx_s += outcome.attempts * airtime
+        if outcome.success:
+            self.airtime_rx_s += airtime
+        self._register_tx(spos, outcome.delay_s)
+        if self.tx_listener is not None:
+            self.tx_listener(flow, outcome.attempts, outcome.success)
+
+        if outcome.success:
+            def _deliver() -> None:
+                receiver.deliver(packet)
+                if on_delivered is not None:
+                    on_delivered(receiver)
+
+            self.engine.schedule_in(outcome.delay_s, _deliver)
+        elif on_failed is not None:
+            self.engine.schedule_in(
+                outcome.delay_s, lambda r=reason: on_failed(r)
+            )
+
+        if overhear_fork is not None:
+            listener_id, prepared = overhear_fork
+            if listener_id != sender_id and listener_id != receiver_id:
+                listener = self.nodes[listener_id]
+                if listener.active and self.radio.in_range(
+                    spos.distance_to(listener.position(now))
+                ):
+                    self.engine.schedule_in(
+                        outcome.delay_s,
+                        lambda n=listener, p=prepared: n.deliver(p),
+                    )
+
+    def local_broadcast(
+        self,
+        sender_id: int,
+        packet: Packet,
+        on_delivered: Callable[[Node, Packet], None] | None = None,
+        flow: int | None = None,
+        restrict_to: Sequence[int] | None = None,
+    ) -> list[int]:
+        """One-hop unacknowledged broadcast.
+
+        Every in-range node receives a :meth:`~repro.net.packet.Packet.fork`
+        of ``packet`` (so traces stay per-branch).  ``restrict_to``
+        optionally filters the receiver set by node id — used by
+        ALERT's destination-zone delivery where only zone members
+        process the frame (others drop it at the link layer).
+
+        Returns the list of receiver ids (empty if the frame collided).
+        """
+        sender = self.nodes[sender_id]
+        now = self.engine.now
+        spos = sender.position(now)
+        packet.record_visit(sender_id)
+        outcome = self.mac.broadcast(packet.size_bytes, self._local_load(spos))
+        sender.tx_count += outcome.attempts
+        packet.transmissions += outcome.attempts
+        self.broadcast_tx += outcome.attempts
+        self.airtime_tx_s += self.radio.tx_time(packet.size_bytes)
+        self._register_tx(spos, outcome.delay_s)
+        if self.tx_listener is not None:
+            self.tx_listener(flow, outcome.attempts, outcome.success)
+        if not outcome.success:
+            return []
+
+        receivers = self.neighbors_of(sender_id)
+        self.airtime_rx_s += self.radio.tx_time(packet.size_bytes) * len(receivers)
+        if restrict_to is not None:
+            allowed = set(restrict_to)
+            receivers = [r for r in receivers if r in allowed]
+
+        for rid in receivers:
+            node = self.nodes[rid]
+            branch = packet.fork()
+
+            def _deliver(n: Node = node, p: Packet = branch) -> None:
+                n.deliver(p)
+                if on_delivered is not None:
+                    on_delivered(n, p)
+
+            self.engine.schedule_in(outcome.delay_s, _deliver)
+        return receivers
+
+    # ------------------------------------------------------------------
+    # hello beacons
+    # ------------------------------------------------------------------
+    def start_hello(self) -> None:
+        """Start periodic hello beacons on every node.
+
+        Beacons are processed as one *round* per interval: every node
+        emits once and neighbor tables update from a single position
+        snapshot.  (Real beacons are jittered within the interval to
+        avoid collisions; since hello frames are not contended through
+        the MAC model, collapsing a round into one event is
+        behaviourally identical and orders of magnitude cheaper — one
+        snapshot instead of N per interval.)  A warm-up round at t≈0
+        populates the tables so the first data packets can route.
+        """
+        rng = self.engine.rng.stream("hello")
+        offset = float(rng.uniform(0.05, 0.2))
+        task = PeriodicTask(
+            self.engine,
+            self.hello_interval,
+            self._emit_hello_round,
+            jitter=0.1 * self.hello_interval,
+            rng=rng,
+            start_offset=offset,
+        )
+        self._hello_tasks.append(task)
+
+    def _emit_hello_round(self) -> None:
+        """One beacon round: every live node advertises to its neighbors."""
+        for node in self.nodes:
+            if node.active:
+                self._emit_hello(node)
+
+    def stop_hello(self) -> None:
+        """Stop all beacon tasks (end of a run)."""
+        for task in self._hello_tasks:
+            task.stop()
+        self._hello_tasks.clear()
+
+    def _emit_hello(self, node: Node) -> None:
+        """Deliver one beacon: update in-range nodes' neighbor tables."""
+        now = self.engine.now
+        self.hello_tx += 1
+        node.tx_count += 1
+        hello_air = self.radio.tx_time(self.hello_size_bytes)
+        self.airtime_tx_s += hello_air
+        entry_template = NeighborEntry(
+            link_address=node.id,
+            pseudonym=node.pseudonym_at(now),
+            position=node.position(now),
+            public_key=node.keypair.public,
+            last_seen=now,
+        )
+        receivers = self.neighbors_of(node.id)
+        self.airtime_rx_s += hello_air * len(receivers)
+        for rid in receivers:
+            self.nodes[rid].neighbors.update(entry_template)

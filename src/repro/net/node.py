@@ -1,0 +1,95 @@
+"""A network node: identity, keys, mobility, and the receive hook."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.pseudonym import PseudonymManager
+from repro.geometry.primitives import Point
+from repro.mobility.base import MobilityModel
+from repro.net.neighbor_table import NeighborTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.packet import Packet
+
+#: Signature of a protocol's packet-arrival hook: (receiver, packet).
+ReceiveHook = Callable[["Node", "Packet"], None]
+
+
+class Node:
+    """One mobile node.
+
+    The node owns its long-term keypair, its rotating pseudonym, its
+    neighbor table, and its mobility; the routing protocol attached to
+    the network registers a receive hook that fires whenever the link
+    layer delivers a frame to this node.
+
+    Parameters
+    ----------
+    node_id:
+        Substrate-level index (stands in for the radio hardware
+        address; never placed in protocol headers).
+    mobility:
+        This node's motion.
+    keypair:
+        Long-term RSA keypair (public half published via the location
+        service).
+    rng:
+        Private random stream (pseudonym fuzz etc.).
+    neighbor_ttl:
+        Expiry for neighbor-table rows, seconds.
+    pseudonym_lifetime:
+        Rotation period for the dynamic pseudonym, seconds.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        mobility: MobilityModel,
+        keypair: KeyPair,
+        rng: np.random.Generator,
+        neighbor_ttl: float = 3.0,
+        pseudonym_lifetime: float = 30.0,
+    ) -> None:
+        self.id = node_id
+        self.mobility = mobility
+        self.keypair = keypair
+        mac = node_id.to_bytes(6, "big")
+        self.pseudonyms = PseudonymManager(mac, rng, lifetime=pseudonym_lifetime)
+        self.neighbors = NeighborTable(ttl=neighbor_ttl)
+        self.on_receive: ReceiveHook | None = None
+        #: per-node energy proxy: frames transmitted / received
+        self.tx_count = 0
+        self.rx_count = 0
+        #: False once the node is disabled/compromised (DoS experiments);
+        #: inactive nodes neither beacon, relay, nor acknowledge frames.
+        self.active = True
+
+    def fail(self) -> None:
+        """Disable the node (compromise / battery death)."""
+        self.active = False
+
+    def restore(self) -> None:
+        """Bring the node back online."""
+        self.active = True
+
+    def position(self, t: float) -> Point:
+        """True position at time ``t`` (substrate/oracle use only)."""
+        return self.mobility.position(t)
+
+    def pseudonym_at(self, t: float) -> bytes:
+        """The node's valid pseudonym digest at ``t``."""
+        return self.pseudonyms.current(t).digest
+
+    def deliver(self, packet: "Packet") -> None:
+        """Link-layer delivery: count it and invoke the protocol hook."""
+        self.rx_count += 1
+        packet.record_visit(self.id)
+        if self.on_receive is not None:
+            self.on_receive(self, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.id}>"

@@ -1,0 +1,99 @@
+"""The generic packet record shared by every protocol.
+
+Protocol-specific headers (e.g., ALERT's universal RREQ/RREP/NAK format
+of §2.5) ride in ``header``; the link layer only looks at ``size_bytes``
+and the addressing fields.  ``trace`` accumulates the node ids a packet
+actually visited — the raw material for the participating-nodes and
+hops-per-packet metrics (§5.2 metrics 1 and 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+_packet_ids = itertools.count(1)
+
+
+class PacketKind(Enum):
+    """Coarse packet classes used by the substrate and metrics."""
+
+    DATA = "data"
+    HELLO = "hello"
+    COVER = "cover"  # notify-and-go camouflage traffic
+    NAK = "nak"
+    CONTROL = "control"  # dissemination, location-service, etc.
+
+
+@dataclass
+class Packet:
+    """One packet in flight.
+
+    Parameters
+    ----------
+    kind:
+        Coarse class (data / hello / cover / nak / control).
+    src, dst:
+        *True* endpoint node ids, used only by the harness for metric
+        attribution; protocols must never read them for forwarding
+        decisions (that would break anonymity by construction).
+    size_bytes:
+        Payload size on the wire; the MAC charges airtime for it.
+    header:
+        Protocol-specific header object (opaque to the substrate).
+    payload:
+        Application bytes (possibly ciphertext).
+    created_at:
+        Simulation time the packet was born.
+    """
+
+    kind: PacketKind
+    src: int
+    dst: int
+    size_bytes: int
+    header: Any = None
+    payload: bytes = b""
+    created_at: float = 0.0
+    #: metrics flow this packet belongs to (None for background traffic)
+    flow_id: int | None = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: node ids that have transmitted or received this packet, in order
+    trace: list[int] = field(default_factory=list)
+    #: link-layer transmissions used so far (includes broadcasts)
+    transmissions: int = 0
+    #: simulated crypto delay accumulated along the path (seconds)
+    crypto_delay: float = 0.0
+
+    @property
+    def hops(self) -> int:
+        """Number of link traversals recorded in the trace."""
+        return max(len(self.trace) - 1, 0)
+
+    def record_visit(self, node_id: int) -> None:
+        """Append a node to the trace (consecutive duplicates collapse)."""
+        if not self.trace or self.trace[-1] != node_id:
+            self.trace.append(node_id)
+
+    def fork(self, **overrides: Any) -> "Packet":
+        """Copy for broadcast fan-out: fresh uid, shared provenance.
+
+        The copy starts with the parent's trace (so path accounting
+        stays meaningful for multicast deliveries) but gets its own
+        list object, and its own uid.
+        """
+        clone = Packet(
+            kind=overrides.get("kind", self.kind),
+            src=overrides.get("src", self.src),
+            dst=overrides.get("dst", self.dst),
+            size_bytes=overrides.get("size_bytes", self.size_bytes),
+            header=overrides.get("header", self.header),
+            payload=overrides.get("payload", self.payload),
+            created_at=overrides.get("created_at", self.created_at),
+            flow_id=overrides.get("flow_id", self.flow_id),
+        )
+        clone.trace = list(self.trace)
+        clone.transmissions = self.transmissions
+        clone.crypto_delay = self.crypto_delay
+        return clone

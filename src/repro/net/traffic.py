@@ -1,0 +1,74 @@
+"""Constant-bit-rate traffic sources (paper §5.2: UDP/CBR, 512 B, 2 s).
+
+A :class:`CbrSource` periodically asks its routing protocol to deliver
+one data packet from S to D.  The protocol interface is any callable
+``send(src_id, dst_id, size_bytes) -> None``; the harness wires this to
+:meth:`repro.routing.base.RoutingProtocol.send_data`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine
+from repro.sim.process import PeriodicTask
+
+SendFn = Callable[[int, int, int], None]
+
+
+class CbrSource:
+    """One CBR flow: ``src`` sends a packet to ``dst`` every interval.
+
+    Parameters
+    ----------
+    engine:
+        The event engine.
+    send:
+        Protocol send function ``(src, dst, size_bytes)``.
+    src, dst:
+        Endpoint node ids.
+    interval:
+        Inter-packet gap in seconds (paper default: 2 s).
+    size_bytes:
+        Packet size (paper default: 512 B).
+    max_packets:
+        Stop after this many packets (``None`` = until stopped).
+    start_offset:
+        Time of the first packet.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        send: SendFn,
+        src: int,
+        dst: int,
+        interval: float = 2.0,
+        size_bytes: int = 512,
+        max_packets: int | None = None,
+        start_offset: float = 1.0,
+    ) -> None:
+        if src == dst:
+            raise ValueError("CBR flow endpoints must differ")
+        if interval <= 0 or size_bytes <= 0:
+            raise ValueError("interval and size_bytes must be positive")
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.max_packets = max_packets
+        self.sent = 0
+        self._send = send
+        self._task = PeriodicTask(
+            engine, interval, self._tick, start_offset=start_offset
+        )
+
+    def _tick(self) -> None:
+        if self.max_packets is not None and self.sent >= self.max_packets:
+            self._task.stop()
+            return
+        self.sent += 1
+        self._send(self.src, self.dst, self.size_bytes)
+
+    def stop(self) -> None:
+        """Stop generating packets."""
+        self._task.stop()

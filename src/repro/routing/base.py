@@ -1,0 +1,122 @@
+"""The protocol interface shared by GPSR, ALERT, ALARM, and AO2P.
+
+A protocol attaches to a :class:`~repro.net.network.Network`, claims
+every node's receive hook, wires the network's transmission listener to
+a :class:`~repro.experiments.metrics.MetricsCollector`, and exposes
+``send_data(src, dst, size)`` to traffic sources.  Crypto processing
+is charged as *scheduled simulated delay* through :meth:`_after_crypto`
+so that end-to-end latency figures emerge from the event timeline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.crypto.cost_model import CryptoCostModel
+from repro.experiments.metrics import MetricsCollector
+from repro.location.service import LocationService
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+
+
+class RoutingProtocol(ABC):
+    """Base class for routing protocols.
+
+    Parameters
+    ----------
+    network:
+        The network to attach to (the protocol takes over every node's
+        ``on_receive`` hook).
+    location:
+        Location service used to resolve destination position/keys.
+    metrics:
+        Collector for flow records (a fresh one is created if omitted).
+    cost_model:
+        Crypto cost model (a fresh one if omitted).
+    """
+
+    #: protocol name used in metrics and result tables
+    name = "base"
+
+    def __init__(
+        self,
+        network: Network,
+        location: LocationService,
+        metrics: MetricsCollector | None = None,
+        cost_model: CryptoCostModel | None = None,
+    ) -> None:
+        self.network = network
+        self.location = location
+        self.engine = network.engine
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.cost = cost_model if cost_model is not None else CryptoCostModel()
+        network.tx_listener = self.metrics.record_tx
+        for node in network.nodes:
+            node.on_receive = self._dispatch
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def send_data(self, src: int, dst: int, size_bytes: int = 512) -> int:
+        """Originate one data packet from ``src`` to ``dst``.
+
+        Returns the metrics flow id.  Protocol subclasses implement
+        the actual initiation in :meth:`_initiate`.
+        """
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        flow_id = self.metrics.start_flow(
+            src, dst, self.engine.now, size_bytes, protocol=self.name
+        )
+        packet = Packet(
+            kind=PacketKind.DATA,
+            src=src,
+            dst=dst,
+            size_bytes=size_bytes,
+            created_at=self.engine.now,
+            flow_id=flow_id,
+        )
+        self._initiate(packet)
+        return flow_id
+
+    @abstractmethod
+    def _initiate(self, packet: Packet) -> None:
+        """Start routing a freshly created data packet from its source."""
+
+    @abstractmethod
+    def _dispatch(self, node: Node, packet: Packet) -> None:
+        """Handle link-layer delivery of ``packet`` at ``node``."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _after_crypto(self, packet: Packet, delay: float, fn: Callable[[], None]) -> None:
+        """Charge ``delay`` seconds of crypto processing, then run ``fn``."""
+        packet.crypto_delay += delay
+        if delay > 0:
+            self.engine.schedule_in(delay, fn)
+        else:
+            fn()
+
+    def _delivered(self, packet: Packet) -> None:
+        """Record first delivery at the true destination."""
+        if packet.flow_id is not None:
+            self.metrics.record_delivery(
+                packet.flow_id, self.engine.now, path=packet.trace
+            )
+
+    def _dropped(self, packet: Packet, reason: str) -> None:
+        """Record a terminal drop."""
+        if packet.flow_id is not None:
+            self.metrics.record_drop(packet.flow_id, reason)
+
+    def _mark_participant(self, packet: Packet, node_id: int) -> None:
+        """Record ``node_id`` as an actual participant for this flow."""
+        if packet.flow_id is not None:
+            self.metrics.record_participant(packet.flow_id, node_id)
+
+    def lookup_destination(self, requester: int, dst: int):
+        """Resolve the destination's location record via the service."""
+        return self.location.lookup(requester, dst)

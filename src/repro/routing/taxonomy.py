@@ -1,0 +1,87 @@
+"""Table 1: the paper's taxonomy of anonymous routing protocols.
+
+A structured registry of the protocols the paper surveys, with their
+category (reactive/proactive/middleware, hop-by-hop encryption vs
+redundant traffic, topology vs geographic) and the anonymity
+properties each provides.  ``format_taxonomy`` re-renders the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One row of Table 1."""
+
+    name: str
+    category: str  # Reactive / Proactive / Middleware
+    mechanism: str  # Hop-by-hop encryption / Redundant traffic
+    routing: str  # Topology / Geographic
+    identity_anonymity: str
+    location_anonymity: str
+    route_anonymity: bool
+
+
+PROTOCOL_TAXONOMY: tuple[ProtocolEntry, ...] = (
+    ProtocolEntry("MASK", "Reactive", "Hop-by-hop encryption", "Topology",
+                  "source", "n/a", True),
+    ProtocolEntry("ANODR", "Reactive", "Hop-by-hop encryption", "Topology",
+                  "source, destination", "n/a", True),
+    ProtocolEntry("Discount-ANODR", "Reactive", "Hop-by-hop encryption",
+                  "Topology", "source, destination", "n/a", True),
+    ProtocolEntry("Zhou et al.", "Reactive", "Hop-by-hop encryption",
+                  "Geographic", "source, destination",
+                  "source, destination", False),
+    ProtocolEntry("Pathak et al.", "Reactive", "Hop-by-hop encryption",
+                  "Geographic", "source, destination",
+                  "source, destination", False),
+    ProtocolEntry("AO2P", "Reactive", "Hop-by-hop encryption", "Geographic",
+                  "source, destination", "source, destination", False),
+    ProtocolEntry("PRISM", "Reactive", "Hop-by-hop encryption", "Geographic",
+                  "source, destination", "source, destination", False),
+    ProtocolEntry("Aad et al.", "Reactive", "Redundant traffic", "Topology",
+                  "destination", "n/a", True),
+    ProtocolEntry("ASR", "Reactive", "Redundant traffic", "Geographic",
+                  "source, destination", "source, destination", False),
+    ProtocolEntry("ZAP", "Reactive", "Redundant traffic", "Geographic",
+                  "destination", "destination", False),
+    ProtocolEntry("ALARM", "Proactive", "Redundant traffic", "Topology",
+                  "source, destination", "source", False),
+    ProtocolEntry("MAPCP", "Middleware", "Redundant traffic", "Geographic",
+                  "source, destination", "n/a", True),
+    # ALERT itself, for comparison (not a row in the original table):
+    ProtocolEntry("ALERT", "Reactive", "Randomised routing", "Geographic",
+                  "source, destination", "source, destination", True),
+)
+
+
+def format_taxonomy(entries: tuple[ProtocolEntry, ...] = PROTOCOL_TAXONOMY) -> str:
+    """Render the taxonomy as an aligned text table (Table 1)."""
+    headers = (
+        "Name", "Category", "Mechanism", "Routing",
+        "Identity anonymity", "Location anonymity", "Route anonymity",
+    )
+    rows = [
+        (
+            e.name,
+            e.category,
+            e.mechanism,
+            e.routing,
+            e.identity_anonymity,
+            e.location_anonymity,
+            "yes" if e.route_anonymity else "no",
+        )
+        for e in entries
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(r)))
+    return "\n".join(lines)

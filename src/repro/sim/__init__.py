@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic discrete-event engine in the style of NS-2's
+scheduler: a binary-heap event queue keyed by ``(time, sequence)`` with
+callback-style events, periodic tasks, and named seeded random streams.
+
+The kernel is the substrate for every simulation in this repository;
+all simulated time is expressed in floating-point seconds.
+
+Example
+-------
+>>> from repro.sim import Engine
+>>> eng = Engine(seed=1)
+>>> hits = []
+>>> eng.schedule_in(2.0, lambda: hits.append(eng.now))
+>>> eng.run()
+>>> hits
+[2.0]
+"""
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "Event",
+    "EventHandle",
+    "PeriodicTask",
+    "Timer",
+    "RngRegistry",
+]

@@ -1,0 +1,66 @@
+"""Event objects used by the discrete-event engine.
+
+Events are lightweight records placed on the engine's binary heap.  They
+are ordered by ``(time, priority, sequence)``: earlier times fire first,
+ties break on explicit priority and then on FIFO insertion order, which
+keeps runs bit-for-bit deterministic for a given seed and schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Tie-break for events at identical times; lower fires first.
+    seq:
+        Monotonic insertion counter assigned by the engine.
+    fn:
+        Zero-argument callable invoked when the event fires.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by ``Engine.schedule*`` allowing cancellation.
+
+    Cancellation is lazy: the event stays on the heap but is skipped
+    when popped, which is O(1) and avoids heap surgery.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} {state}>"

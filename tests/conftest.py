@@ -1,0 +1,71 @@
+"""Shared fixtures: small, fast network instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import MetricsCollector
+from repro.crypto.cost_model import CryptoCostModel
+from repro.geometry.field import Field
+from repro.location.service import LocationService
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.static import StaticPosition
+from repro.net.network import Network
+from repro.sim.engine import Engine
+
+
+def build_network(
+    n_nodes: int = 40,
+    seed: int = 7,
+    field_size: float = 600.0,
+    speed: float = 2.0,
+    static: bool = False,
+) -> Network:
+    """A compact network for unit/integration tests."""
+    engine = Engine(seed=seed)
+    fld = Field(field_size, field_size)
+
+    if static:
+        def factory(node_id, rng):
+            return StaticPosition(fld.random_point(rng))
+    else:
+        def factory(node_id, rng):
+            return RandomWaypoint(fld, rng, speed_min=speed, speed_max=speed)
+
+    return Network(engine, fld, factory, n_nodes)
+
+
+@pytest.fixture
+def small_network() -> Network:
+    """40 mobile nodes in a 600 m field."""
+    return build_network()
+
+@pytest.fixture
+def static_network() -> Network:
+    """40 static nodes (deterministic geometry)."""
+    return build_network(static=True)
+
+
+@pytest.fixture
+def wired_network():
+    """Network + location service + metrics + cost model, beaconing."""
+    net = build_network(n_nodes=50, seed=11)
+    metrics = MetricsCollector()
+    cost = CryptoCostModel()
+    location = LocationService(net, updates_enabled=True, cost_model=cost)
+    net.start_hello()
+    net.engine.run(until=0.5)
+    return net, location, metrics, cost
+
+
+@pytest.fixture
+def base_config() -> ExperimentConfig:
+    """A fast experiment config for integration tests."""
+    return ExperimentConfig(
+        n_nodes=60,
+        duration=15.0,
+        n_pairs=3,
+        seed=5,
+        field_size=800.0,
+    )

@@ -1,0 +1,194 @@
+"""Tests for the §4 closed forms against the paper's stated values."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.theory import (
+    equivalent_zone_radius,
+    expected_participating_nodes,
+    expected_random_forwarders,
+    location_service_overhead,
+    remaining_nodes,
+    remaining_probability,
+    rf_count_pmf,
+    separation_probability,
+    zone_side_lengths,
+)
+
+
+class TestSideLengths:
+    def test_paper_example(self):
+        """Eqs (3)-(4): h=3 → a = 0.5 l_A, b = 0.25 l_B."""
+        a, b = zone_side_lengths(3, 1000.0, 1000.0)
+        assert a == pytest.approx(500.0)
+        assert b == pytest.approx(250.0)
+
+    def test_vectorised(self):
+        a, b = zone_side_lengths(np.arange(0, 6), 1000.0, 1000.0)
+        assert a.shape == (6,)
+        assert np.all(a * b == 1e6 / 2.0 ** np.arange(0, 6))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            zone_side_lengths(-1, 1.0, 1.0)
+
+
+class TestSeparationProbability:
+    def test_eq5(self):
+        p = separation_probability(np.arange(1, 6), 5)
+        assert np.allclose(p, [0.5, 0.25, 0.125, 0.0625, 0.03125])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            separation_probability(0, 5)
+        with pytest.raises(ValueError):
+            separation_probability(6, 5)
+
+
+class TestParticipatingNodes:
+    def test_fig7a_saturation(self):
+        """§4.1: the count tends to ≈ 1/4 of the population as H grows."""
+        rho = 200 / 1e6
+        values = [
+            expected_participating_nodes(h, 1000.0, 1000.0, rho)
+            for h in range(1, 11)
+        ]
+        # increasing and saturating
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(200 / 4.0, rel=0.35)
+
+    def test_fast_rise_then_slow(self):
+        rho = 200 / 1e6
+        v1 = expected_participating_nodes(1, 1000.0, 1000.0, rho)
+        v2 = expected_participating_nodes(2, 1000.0, 1000.0, rho)
+        v9 = expected_participating_nodes(9, 1000.0, 1000.0, rho)
+        v10 = expected_participating_nodes(10, 1000.0, 1000.0, rho)
+        assert (v2 - v1) > (v10 - v9)
+
+    def test_scales_with_density(self):
+        a = expected_participating_nodes(5, 1000.0, 1000.0, 100 / 1e6)
+        b = expected_participating_nodes(5, 1000.0, 1000.0, 400 / 1e6)
+        assert b == pytest.approx(4 * a)
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            expected_participating_nodes(0, 1.0, 1.0, 1.0)
+
+
+class TestRandomForwarders:
+    def test_pmf_sums_to_one(self):
+        for sigma in range(1, 6):
+            assert rf_count_pmf(sigma, 5).sum() == pytest.approx(1.0)
+
+    def test_pmf_mean_is_binomial(self):
+        """E[i] for Binomial(H-σ, 1/2) = (H-σ)/2."""
+        pmf = rf_count_pmf(2, 8)
+        mean = float((pmf * np.arange(pmf.size)).sum())
+        assert mean == pytest.approx((8 - 2) / 2.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            rf_count_pmf(0, 5)
+        with pytest.raises(ValueError):
+            rf_count_pmf(6, 5)
+
+    def test_fig7b_linear_trend(self):
+        """Fig 7b: E[#RFs] grows ≈ linearly with H."""
+        totals = [expected_random_forwarders(h) for h in range(1, 11)]
+        diffs = [b - a for a, b in zip(totals, totals[1:])]
+        # Increments approach a constant (≈ the asymptotic slope).
+        assert all(d > 0 for d in diffs)
+        assert abs(diffs[-1] - diffs[-2]) < 0.02
+
+    def test_per_sigma_decreasing(self):
+        per = expected_random_forwarders(6, per_sigma=True)
+        assert per.shape == (6,)
+        assert all(a >= b for a, b in zip(per, per[1:]))
+
+    def test_closed_form(self):
+        """N_RF(σ) = (H-σ)/2, weighted by 2^-σ."""
+        h = 5
+        expect = sum((h - s) / 2.0 * 0.5**s for s in range(1, h + 1))
+        assert expected_random_forwarders(h) == pytest.approx(expect)
+
+
+class TestRemainingNodes:
+    def test_probability_decays(self):
+        p = remaining_probability(np.array([0.0, 10.0, 50.0]), r=100.0, v=2.0)
+        assert p[0] == 1.0
+        assert p[0] > p[1] > p[2] > 0.0
+
+    def test_zero_speed_stays(self):
+        p = remaining_probability(np.array([1e3, 1e6]), r=100.0, v=0.0)
+        assert np.all(p == 1.0)
+
+    def test_beta_formula(self):
+        """p_r(t) = exp(-2vt / πr) exactly."""
+        t, r, v = 30.0, 120.0, 2.0
+        expect = math.exp(-t / (math.pi * r / (2 * v)))
+        assert remaining_probability(t, r, v) == pytest.approx(expect)
+
+    def test_equivalent_radius(self):
+        """Eq 13: r = side/√π."""
+        assert equivalent_zone_radius(176.7) == pytest.approx(176.7 / math.sqrt(math.pi))
+        with pytest.raises(ValueError):
+            equivalent_zone_radius(0.0)
+
+    def test_remaining_nodes_initial_population(self):
+        """At t=0 the zone holds ρ · a(H)² nodes."""
+        rho = 200 / 1e6
+        n0 = remaining_nodes(0.0, 4, 1000.0, 2.0, rho)
+        # H=4 → a=250 → 62500 m² → 12.5 nodes
+        assert float(n0) == pytest.approx(12.5)
+
+    def test_fig9a_density_ordering(self):
+        """Denser networks keep more nodes at every time."""
+        t = np.linspace(0, 50, 6)
+        lo = remaining_nodes(t, 5, 1000.0, 2.0, 100 / 1e6)
+        hi = remaining_nodes(t, 5, 1000.0, 2.0, 400 / 1e6)
+        assert np.all(hi > lo)
+
+    def test_fig9b_speed_ordering(self):
+        """Faster movement empties the zone sooner."""
+        t = np.linspace(1, 50, 6)
+        slow = remaining_nodes(t, 5, 1000.0, 1.0, 200 / 1e6)
+        fast = remaining_nodes(t, 5, 1000.0, 4.0, 200 / 1e6)
+        assert np.all(slow > fast)
+
+    def test_fig13a_fewer_partitions_more_nodes(self):
+        """H=4 zones hold more nodes than H=5 zones (paper Fig 13a)."""
+        t = np.linspace(0, 30, 5)
+        h4 = remaining_nodes(t, 4, 1000.0, 2.0, 200 / 1e6)
+        h5 = remaining_nodes(t, 5, 1000.0, 2.0, 200 / 1e6)
+        assert np.all(h4 > h5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.0, 200.0), st.floats(10.0, 500.0), st.floats(0.0, 20.0))
+    def test_probability_bounds(self, t, r, v):
+        p = float(remaining_probability(t, r, v))
+        assert 0.0 <= p <= 1.0
+
+
+class TestOverhead:
+    def test_sqrt_n_servers_small_overhead(self):
+        """§4.3: N_L ≈ √N and f ≪ F keeps the ratio ≪ 1."""
+        ratio = location_service_overhead(
+            n_nodes=400, n_servers=20, update_frequency=0.01, data_frequency=1.0
+        )
+        assert ratio < 0.05
+
+    def test_too_many_servers_blow_up(self):
+        small = location_service_overhead(400, 20, 0.1, 1.0)
+        big = location_service_overhead(400, 400, 0.1, 1.0)
+        assert big > small * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            location_service_overhead(0, 1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            location_service_overhead(10, 1, 0.1, 0.0)

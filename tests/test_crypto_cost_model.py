@@ -1,0 +1,53 @@
+"""Tests for the simulated crypto cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cost_model import CryptoCostModel
+
+
+class TestCostModel:
+    def test_defaults_match_paper_calibration(self):
+        m = CryptoCostModel()
+        # §5.2: symmetric "several milliseconds", public key "2-3
+        # hundred milliseconds".
+        assert 0.001 <= m.symmetric_encrypt_s <= 0.01
+        assert 0.2 <= m.pubkey_encrypt_s <= 0.3
+        # The headline ratio: public key ≈ hundreds of times symmetric.
+        assert m.pubkey_encrypt_s / m.symmetric_encrypt_s >= 50
+
+    def test_charges_return_cost(self):
+        m = CryptoCostModel()
+        assert m.symmetric_encrypt() == pytest.approx(m.symmetric_encrypt_s)
+        assert m.pubkey_encrypt(2) == pytest.approx(2 * m.pubkey_encrypt_s)
+
+    def test_charge_tally(self):
+        m = CryptoCostModel()
+        m.symmetric_encrypt(3)
+        m.pubkey_decrypt()
+        m.sign(2)
+        assert m.charges == {
+            "symmetric_encrypt": 3,
+            "pubkey_decrypt": 1,
+            "sign": 2,
+        }
+        assert m.total_operations() == 6
+
+    def test_zero_count_charges_nothing(self):
+        m = CryptoCostModel()
+        assert m.verify(0) == 0.0
+        assert m.total_operations() == 0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            CryptoCostModel().hash(-1)
+
+    def test_all_operations_covered(self):
+        m = CryptoCostModel()
+        for op in (
+            m.symmetric_encrypt, m.symmetric_decrypt, m.pubkey_encrypt,
+            m.pubkey_decrypt, m.sign, m.verify, m.hash,
+        ):
+            assert op() > 0.0
+        assert m.total_operations() == 7

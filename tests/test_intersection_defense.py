@@ -1,0 +1,132 @@
+"""Tests for the §3.3 two-step multicast machinery and bitmap scramble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.intersection_attack import IntersectionAttacker
+from repro.attacks.adversary import DeliveryObservation
+from repro.core.alert import AlertProtocol
+from repro.core.config import AlertConfig
+from repro.core.intersection_defense import (
+    apply_bit_flips,
+    coverage_percent,
+    decode_bitmap,
+    encode_bitmap,
+    scramble_payload,
+    unscramble_payload,
+)
+from repro.crypto.cost_model import CryptoCostModel
+from repro.crypto.keys import generate_keypair
+from repro.experiments.metrics import MetricsCollector
+from repro.location.service import LocationService
+from tests.conftest import build_network
+
+KP = generate_keypair(np.random.default_rng(0), bits=64)
+
+
+class TestBitFlips:
+    def test_involution(self):
+        data = b"hello world, this is a payload"
+        flipped = apply_bit_flips(data, [0, 17, 100])
+        assert flipped != data
+        assert apply_bit_flips(flipped, [0, 17, 100]) == data
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            apply_bit_flips(b"ab", [16])
+
+    def test_bitmap_codec_roundtrip(self):
+        positions = [0, 5, 77, 1023]
+        assert decode_bitmap(encode_bitmap(positions)) == positions
+
+    def test_bitmap_codec_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            decode_bitmap(b"\x00\x01\x02")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=200), st.integers(0, 2**31))
+    def test_scramble_roundtrip_property(self, payload, seed):
+        rng = np.random.default_rng(seed)
+        scrambled, bitmap_enc = scramble_payload(payload, KP.public, rng)
+        assert scrambled != payload or len(payload) * 8 <= 8
+        assert unscramble_payload(scrambled, bitmap_enc, KP) == payload
+
+    def test_empty_payload_passthrough(self):
+        s, b = scramble_payload(b"", KP.public, np.random.default_rng(1))
+        assert s == b"" and b == b""
+        assert unscramble_payload(b"", b"", KP) == b""
+
+
+class TestCoverageFormula:
+    def test_paper_formula(self):
+        """§3.3: m/k + (1 - m/k)·p_c."""
+        assert coverage_percent(3, 6, 1.0) == 1.0
+        assert coverage_percent(3, 6, 0.0) == 0.5
+        assert coverage_percent(2, 8, 0.5) == pytest.approx(0.25 + 0.75 * 0.5)
+
+    def test_full_first_step(self):
+        assert coverage_percent(6, 6, 0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_percent(7, 6, 1.0)
+        with pytest.raises(ValueError):
+            coverage_percent(1, 6, 1.5)
+        with pytest.raises(ValueError):
+            coverage_percent(0, 0, 0.5)
+
+
+def run_defended(n_packets=14, seed=13, m=2):
+    net = build_network(n_nodes=70, seed=seed, field_size=600.0)
+    metrics = MetricsCollector()
+    cost = CryptoCostModel()
+    location = LocationService(net, updates_enabled=True, cost_model=cost)
+    cfg = AlertConfig(h_override=4, intersection_defense=True, multicast_m=m)
+    proto = AlertProtocol(net, location, metrics, cost, cfg)
+    observations = []
+    proto.zone_delivery_observer = lambda t, recipients: observations.append(
+        DeliveryObservation(time=t, recipients=frozenset(recipients))
+    )
+    net.start_hello()
+    net.engine.run(until=0.5)
+    for _ in range(n_packets):
+        proto.send_data(0, 69)
+        net.engine.run(until=net.engine.now + 1.0)
+    net.engine.run(until=net.engine.now + 3.0)
+    return net, proto, metrics, observations
+
+
+class TestDefendedDelivery:
+    def test_two_step_machinery_runs(self):
+        _, _, metrics, _ = run_defended()
+        assert metrics.counters.get("defense_multicasts", 0) >= 3
+        assert metrics.counters.get("defense_releases", 0) >= 1
+
+    def test_packets_still_delivered(self):
+        _, _, metrics, _ = run_defended()
+        # Held packets are released on the next arrival, so all but the
+        # tail of the session eventually reach D.
+        assert metrics.delivery_rate() >= 0.5
+
+    def test_payload_survives_double_scramble(self):
+        _, _, metrics, _ = run_defended()
+        assert metrics.counters.get("payload_mismatch", 0) == 0
+        assert metrics.counters.get("payload_decrypt_failures", 0) == 0
+
+    def test_destination_absent_from_some_recipient_sets(self):
+        """The defense's core effect: D misses some observable sets,
+        so the intersection attack loses D (§3.3)."""
+        _, _, _, observations = run_defended()
+        assert len(observations) >= 5
+        attacker = IntersectionAttacker()
+        attacker.observe_all(observations)
+        assert attacker.defeated(69) or not attacker.identified(69)
+
+    def test_recipient_sets_bounded_by_m(self):
+        """Observable set per packet: the multicasting RF + m holders."""
+        _, proto, _, observations = run_defended(m=2)
+        for obs in observations:
+            assert len(obs.recipients) <= 2 + 1

@@ -1,0 +1,122 @@
+"""Tests for the metrics collector."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.metrics import MetricsCollector
+
+
+class TestFlowLifecycle:
+    def test_start_flow_ids_increment(self):
+        m = MetricsCollector()
+        assert m.start_flow(1, 2, 0.0, 512) == 1
+        assert m.start_flow(1, 2, 0.0, 512) == 2
+        assert m.packets_sent == 2
+
+    def test_delivery_records_latency(self):
+        m = MetricsCollector()
+        fid = m.start_flow(1, 2, 10.0, 512)
+        m.record_delivery(fid, 10.5, path=[1, 3, 2])
+        rec = m.flow(fid)
+        assert rec.delivered
+        assert rec.latency == 0.5
+        assert rec.path == [1, 3, 2]
+
+    def test_first_delivery_wins(self):
+        m = MetricsCollector()
+        fid = m.start_flow(1, 2, 0.0, 512)
+        m.record_delivery(fid, 1.0)
+        m.record_delivery(fid, 2.0)
+        assert m.flow(fid).delivered_at == 1.0
+
+    def test_drop_does_not_override_delivery(self):
+        m = MetricsCollector()
+        fid = m.start_flow(1, 2, 0.0, 512)
+        m.record_delivery(fid, 1.0)
+        m.record_drop(fid, "ttl")
+        assert m.flow(fid).dropped_reason is None
+
+    def test_first_drop_reason_kept(self):
+        m = MetricsCollector()
+        fid = m.start_flow(1, 2, 0.0, 512)
+        m.record_drop(fid, "a")
+        m.record_drop(fid, "b")
+        assert m.flow(fid).dropped_reason == "a"
+
+    def test_tx_recording(self):
+        m = MetricsCollector()
+        fid = m.start_flow(1, 2, 0.0, 512)
+        m.record_tx(fid, attempts=3, success=True)
+        m.record_tx(fid, attempts=2, success=False)
+        rec = m.flow(fid)
+        assert rec.tx_count == 1
+        assert rec.attempts == 5
+
+    def test_tx_ignores_unknown_flow(self):
+        m = MetricsCollector()
+        m.record_tx(None, 1, True)
+        m.record_tx(99, 1, True)  # no crash
+
+    def test_rf_recording_adds_participant(self):
+        m = MetricsCollector()
+        fid = m.start_flow(1, 2, 0.0, 512)
+        m.record_rf(fid, 7)
+        m.record_rf(fid, 9)
+        rec = m.flow(fid)
+        assert rec.rf_count == 2
+        assert rec.participants == {7, 9}
+
+
+class TestAggregates:
+    def _collector(self):
+        m = MetricsCollector()
+        for i in range(4):
+            fid = m.start_flow(1, 2, float(i), 512)
+            m.record_tx(fid, 1, True)
+            m.record_tx(fid, 1, True)
+            m.record_participant(fid, 10 + i)
+            if i < 3:
+                m.record_delivery(fid, i + 0.5)
+        return m
+
+    def test_delivery_rate(self):
+        assert self._collector().delivery_rate() == 0.75
+
+    def test_empty_delivery_rate(self):
+        assert MetricsCollector().delivery_rate() == 0.0
+
+    def test_mean_latency_over_delivered_only(self):
+        assert self._collector().mean_latency() == 0.5
+
+    def test_mean_latency_nan_when_none(self):
+        m = MetricsCollector()
+        m.start_flow(1, 2, 0.0, 512)
+        assert math.isnan(m.mean_latency())
+
+    def test_mean_hops_divides_by_sent(self):
+        assert self._collector().mean_hops() == 2.0
+
+    def test_participating_union(self):
+        assert self._collector().participating_nodes() == {10, 11, 12, 13}
+
+    def test_cumulative_participants_monotone(self):
+        series = self._collector().cumulative_participants()
+        assert series == [1, 2, 3, 4]
+
+    def test_mean_rf_count_delivered_only(self):
+        m = MetricsCollector()
+        a = m.start_flow(1, 2, 0.0, 512)
+        b = m.start_flow(1, 2, 0.0, 512)
+        m.record_rf(a, 5)
+        m.record_rf(a, 6)
+        m.record_delivery(a, 1.0)
+        m.record_rf(b, 7)  # undelivered
+        assert m.mean_rf_count() == 2.0
+        assert m.mean_rf_count(delivered_only=False) == 1.5
+
+    def test_counters(self):
+        m = MetricsCollector()
+        m.note("x")
+        m.note("x", 2.5)
+        assert m.counters["x"] == 3.5

@@ -1,0 +1,185 @@
+"""Tests for mobility models and the trajectory machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.field import Field
+from repro.geometry.primitives import Point
+from repro.mobility.base import Segment, Trajectory
+from repro.mobility.group_mobility import GroupMobility, GroupReference, make_group_mobility
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.static import StaticPosition
+
+
+class TestSegment:
+    def test_interpolation(self):
+        s = Segment(0.0, 10.0, Point(0, 0), Point(10, 20))
+        assert s.at(5.0) == Point(5, 10)
+
+    def test_clamps_outside_range(self):
+        s = Segment(0.0, 10.0, Point(0, 0), Point(10, 0))
+        assert s.at(-1.0) == Point(0, 0)
+        assert s.at(11.0) == Point(10, 0)
+
+    def test_pause_segment(self):
+        s = Segment(2.0, 2.0, Point(3, 3), Point(3, 3))
+        assert s.at(2.0) == Point(3, 3)
+
+
+class TestTrajectory:
+    def test_empty_returns_origin(self):
+        t = Trajectory(Point(1, 2))
+        assert t.at(5.0) == Point(1, 2)
+
+    def test_non_contiguous_append_raises(self):
+        t = Trajectory(Point(0, 0))
+        t.append(Segment(0, 1, Point(0, 0), Point(1, 0)))
+        with pytest.raises(ValueError):
+            t.append(Segment(2, 3, Point(1, 0), Point(2, 0)))
+
+    def test_bisect_lookup(self):
+        t = Trajectory(Point(0, 0))
+        t.append(Segment(0, 1, Point(0, 0), Point(1, 0)))
+        t.append(Segment(1, 2, Point(1, 0), Point(1, 1)))
+        assert t.at(0.5) == Point(0.5, 0)
+        assert t.at(1.5) == Point(1, 0.5)
+
+    def test_stalled_extend_raises(self):
+        t = Trajectory(Point(0, 0))
+        with pytest.raises(RuntimeError):
+            t.ensure(1.0, lambda: None)
+
+
+class TestRandomWaypoint:
+    def _model(self, seed=0, **kw):
+        fld = Field(1000, 1000)
+        rng = np.random.default_rng(seed)
+        return fld, RandomWaypoint(fld, rng, **kw)
+
+    def test_invalid_speed_raises(self):
+        fld = Field(100, 100)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(fld, rng, speed_min=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(fld, rng, speed_min=5.0, speed_max=2.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(fld, rng, pause_time=-1.0)
+
+    def test_stays_in_field(self):
+        fld, m = self._model(seed=2)
+        for t in np.linspace(0, 500, 200):
+            assert fld.contains(m.position(float(t)))
+
+    def test_respects_speed(self):
+        _, m = self._model(seed=3, speed_min=2.0, speed_max=2.0)
+        dt = 0.5
+        for t in np.arange(0, 100, dt):
+            a = m.position(float(t))
+            b = m.position(float(t + dt))
+            assert a.distance_to(b) <= 2.0 * dt + 1e-9
+
+    def test_deterministic_given_seed(self):
+        _, m1 = self._model(seed=7)
+        _, m2 = self._model(seed=7)
+        for t in (0.0, 13.7, 99.2):
+            assert m1.position(t) == m2.position(t)
+
+    def test_backward_queries_consistent(self):
+        _, m = self._model(seed=8)
+        late = m.position(200.0)
+        early = m.position(10.0)
+        assert m.position(200.0) == late
+        assert m.position(10.0) == early
+
+    def test_fixed_origin(self):
+        fld = Field(100, 100)
+        m = RandomWaypoint(fld, np.random.default_rng(1), origin=Point(50, 50))
+        assert m.position(0.0) == Point(50, 50)
+
+    def test_pause_time_dwells(self):
+        fld = Field(100, 100)
+        m = RandomWaypoint(
+            fld, np.random.default_rng(4), speed_min=10, speed_max=10, pause_time=5.0
+        )
+        # Scan for an interval where the node does not move (the pause).
+        ts = np.linspace(0, 120, 2400)
+        stationary = 0
+        prev = m.position(0.0)
+        for t in ts[1:]:
+            cur = m.position(float(t))
+            if cur.distance_to(prev) < 1e-9:
+                stationary += 1
+            prev = cur
+        assert stationary > 10
+
+    def test_speed_reported(self):
+        _, m = self._model(speed_min=2.0, speed_max=4.0)
+        assert m.speed() == 3.0
+
+
+class TestStatic:
+    def test_never_moves(self):
+        m = StaticPosition(Point(5, 6))
+        assert m.position(0.0) == Point(5, 6)
+        assert m.position(1e6) == Point(5, 6)
+        assert m.speed() == 0.0
+
+
+class TestGroupMobility:
+    def test_member_stays_near_reference(self):
+        fld = Field(1000, 1000)
+        rng = np.random.default_rng(5)
+        ref = GroupReference(fld, rng, 2.0, 2.0)
+        member = GroupMobility(fld, ref, group_range=150.0, rng=rng)
+        for t in np.linspace(0, 200, 100):
+            c = ref.position(float(t))
+            p = member.position(float(t))
+            # Offset bounded by the group range square's diagonal
+            # (clamping to the field can only reduce the distance).
+            assert abs(p.x - c.x) <= 150.0 + 1e-9 or p.x in (0.0, 1000.0)
+            assert abs(p.y - c.y) <= 150.0 + 1e-9 or p.y in (0.0, 1000.0)
+
+    def test_member_stays_in_field(self):
+        fld = Field(500, 500)
+        rng = np.random.default_rng(6)
+        ref = GroupReference(fld, rng, 2.0, 2.0)
+        member = GroupMobility(fld, ref, group_range=200.0, rng=rng)
+        for t in np.linspace(0, 300, 150):
+            assert fld.contains(member.position(float(t)))
+
+    def test_invalid_group_range(self):
+        fld = Field(100, 100)
+        rng = np.random.default_rng(0)
+        ref = GroupReference(fld, rng, 2.0, 2.0)
+        with pytest.raises(ValueError):
+            GroupMobility(fld, ref, group_range=0.0, rng=rng)
+
+    def test_make_group_mobility_partitions_members(self):
+        fld = Field(1000, 1000)
+        rng = np.random.default_rng(7)
+        motions = make_group_mobility(fld, 20, 5, 150.0, rng)
+        assert len(motions) == 20
+        refs = {id(m.reference) for m in motions}
+        assert len(refs) == 5
+
+    def test_make_group_mobility_validates(self):
+        fld = Field(100, 100)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_group_mobility(fld, 5, 6, 100.0, rng)
+        with pytest.raises(ValueError):
+            make_group_mobility(fld, 5, 0, 100.0, rng)
+
+    def test_groupmates_cluster(self):
+        """Members of one group stay mutually closer than the field size."""
+        fld = Field(1000, 1000)
+        rng = np.random.default_rng(8)
+        motions = make_group_mobility(fld, 10, 2, 100.0, rng)
+        same_group = [m for m in motions if m.reference is motions[0].reference]
+        for t in (10.0, 50.0, 150.0):
+            ps = [m.position(t) for m in same_group]
+            for p in ps[1:]:
+                assert ps[0].distance_to(p) <= 2 * 100.0 * 1.4143 + 1.0

@@ -1,0 +1,71 @@
+"""Tests for the hello-beacon neighbor table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import PublicKey
+from repro.geometry.primitives import Point
+from repro.net.neighbor_table import NeighborEntry, NeighborTable
+
+PK = PublicKey(n=123457, e=65537)
+
+
+def entry(addr=1, t=0.0, pos=Point(0, 0)):
+    return NeighborEntry(
+        link_address=addr, pseudonym=b"p" * 20, position=pos,
+        public_key=PK, last_seen=t,
+    )
+
+
+class TestNeighborTable:
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            NeighborTable(ttl=0)
+
+    def test_update_and_get(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=5, t=1.0))
+        assert t.get(5, now=2.0) is not None
+        assert t.get(9, now=2.0) is None
+
+    def test_expiry(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=5, t=1.0))
+        assert t.get(5, now=4.0) is not None  # exactly at cutoff
+        assert t.get(5, now=4.1) is None
+
+    def test_refresh_extends_life(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=5, t=1.0))
+        t.update(entry(addr=5, t=5.0))
+        assert t.get(5, now=7.0) is not None
+
+    def test_live_entries_sorted_and_filtered(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=9, t=5.0))
+        t.update(entry(addr=2, t=5.0))
+        t.update(entry(addr=4, t=0.0))  # stale at now=5
+        live = t.live_entries(now=5.0)
+        assert [e.link_address for e in live] == [2, 9]
+
+    def test_remove(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=5, t=1.0))
+        t.remove(5)
+        assert t.get(5, now=1.0) is None
+        t.remove(5)  # idempotent
+
+    def test_purge_deletes_expired(self):
+        t = NeighborTable(ttl=1.0)
+        t.update(entry(addr=1, t=0.0))
+        t.update(entry(addr=2, t=10.0))
+        assert t.purge(now=10.0) == 1
+        assert len(t) == 1
+
+    def test_len(self):
+        t = NeighborTable()
+        assert len(t) == 0
+        t.update(entry(addr=1))
+        t.update(entry(addr=2))
+        assert len(t) == 2

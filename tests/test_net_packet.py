@@ -1,0 +1,64 @@
+"""Tests for the generic packet record."""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet, PacketKind
+
+
+def make(**kw):
+    defaults = dict(kind=PacketKind.DATA, src=1, dst=2, size_bytes=512)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_unique_uids(self):
+        assert make().uid != make().uid
+
+    def test_hops_from_trace(self):
+        p = make()
+        assert p.hops == 0
+        p.record_visit(1)
+        assert p.hops == 0
+        p.record_visit(5)
+        p.record_visit(9)
+        assert p.hops == 2
+
+    def test_record_visit_collapses_duplicates(self):
+        p = make()
+        p.record_visit(1)
+        p.record_visit(1)
+        p.record_visit(2)
+        p.record_visit(1)
+        assert p.trace == [1, 2, 1]
+
+    def test_fork_copies_trace_independently(self):
+        p = make()
+        p.record_visit(1)
+        q = p.fork()
+        q.record_visit(2)
+        assert p.trace == [1]
+        assert q.trace == [1, 2]
+
+    def test_fork_gets_new_uid_keeps_provenance(self):
+        p = make(flow_id=7)
+        p.transmissions = 3
+        p.crypto_delay = 0.5
+        q = p.fork()
+        assert q.uid != p.uid
+        assert q.flow_id == 7
+        assert q.transmissions == 3
+        assert q.crypto_delay == 0.5
+        assert q.src == p.src and q.dst == p.dst
+
+    def test_fork_overrides(self):
+        p = make()
+        q = p.fork(kind=PacketKind.NAK, size_bytes=64)
+        assert q.kind is PacketKind.NAK
+        assert q.size_bytes == 64
+        assert q.src == p.src
+
+    def test_kinds_enumerated(self):
+        assert {k.value for k in PacketKind} == {
+            "data", "hello", "cover", "nak", "control",
+        }

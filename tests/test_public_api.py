@@ -1,0 +1,58 @@
+"""Sanity checks on the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_lazy_experiments_exports(self):
+        import repro.experiments as ex
+        for name in ex.__all__:
+            assert getattr(ex, name) is not None
+        with pytest.raises(AttributeError):
+            ex.not_a_thing
+
+    def test_subpackages_importable(self):
+        for mod in (
+            "repro.sim", "repro.geometry", "repro.mobility", "repro.crypto",
+            "repro.net", "repro.location", "repro.core", "repro.routing",
+            "repro.attacks", "repro.analysis", "repro.experiments",
+        ):
+            importlib.import_module(mod)
+
+    def test_subpackage_alls_resolve(self):
+        for mod_name in (
+            "repro.sim", "repro.geometry", "repro.mobility", "repro.crypto",
+            "repro.net", "repro.location", "repro.core", "repro.routing",
+            "repro.attacks", "repro.analysis",
+        ):
+            mod = importlib.import_module(mod_name)
+            for name in getattr(mod, "__all__", []):
+                assert getattr(mod, name) is not None, f"{mod_name}.{name}"
+
+    def test_docstrings_on_public_items(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_readme_quickstart_runs(self):
+        from repro import ExperimentConfig, run_experiment
+        cfg = ExperimentConfig(
+            protocol="ALERT", n_nodes=30, duration=6.0, n_pairs=2,
+            field_size=600.0, seed=7,
+        )
+        result = run_experiment(cfg)
+        assert 0.0 <= result.delivery_rate <= 1.0

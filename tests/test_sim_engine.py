@@ -1,0 +1,166 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_schedule_at_runs_at_time(self):
+        eng = Engine()
+        hits = []
+        eng.schedule_at(2.5, lambda: hits.append(eng.now))
+        eng.run()
+        assert hits == [2.5]
+
+    def test_schedule_in_relative(self):
+        eng = Engine()
+        hits = []
+        eng.schedule_in(1.0, lambda: eng.schedule_in(1.5, lambda: hits.append(eng.now)))
+        eng.run()
+        assert hits == [2.5]
+
+    def test_schedule_in_past_raises(self):
+        eng = Engine()
+        eng.schedule_at(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_in(-0.1, lambda: None)
+
+    def test_non_finite_time_raises(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            eng.schedule_at(float("nan"), lambda: None)
+
+    def test_zero_delay_runs_at_now(self):
+        eng = Engine()
+        order = []
+        def outer():
+            eng.schedule_in(0.0, lambda: order.append("inner"))
+            order.append("outer")
+        eng.schedule_in(1.0, outer)
+        eng.run()
+        assert order == ["outer", "inner"]
+        assert eng.now == 1.0
+
+
+class TestOrdering:
+    def test_fifo_at_equal_times(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            eng.schedule_at(1.0, lambda i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        eng = Engine()
+        order = []
+        eng.schedule_at(1.0, lambda: order.append("low"), priority=5)
+        eng.schedule_at(1.0, lambda: order.append("high"), priority=-5)
+        eng.run()
+        assert order == ["high", "low"]
+
+    def test_time_order_dominates(self):
+        eng = Engine()
+        order = []
+        eng.schedule_at(2.0, lambda: order.append("b"))
+        eng.schedule_at(1.0, lambda: order.append("a"))
+        eng.run()
+        assert order == ["a", "b"]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_until(self):
+        eng = Engine()
+        eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(10.0, lambda: None)
+        eng.run(until=5.0)
+        assert eng.now == 5.0
+        assert eng.pending() == 1
+
+    def test_run_until_processes_inclusive(self):
+        eng = Engine()
+        hits = []
+        eng.schedule_at(5.0, lambda: hits.append(1))
+        eng.run(until=5.0)
+        assert hits == [1]
+
+    def test_resume_after_until(self):
+        eng = Engine()
+        hits = []
+        eng.schedule_at(10.0, lambda: hits.append(eng.now))
+        eng.run(until=5.0)
+        eng.run()
+        assert hits == [10.0]
+
+    def test_stop_halts_processing(self):
+        eng = Engine()
+        hits = []
+        def first():
+            hits.append("first")
+            eng.stop()
+        eng.schedule_at(1.0, first)
+        eng.schedule_at(2.0, lambda: hits.append("second"))
+        eng.run()
+        assert hits == ["first"]
+        eng.run()
+        assert hits == ["first", "second"]
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_step_processes_one(self):
+        eng = Engine()
+        hits = []
+        eng.schedule_at(1.0, lambda: hits.append(1))
+        eng.schedule_at(2.0, lambda: hits.append(2))
+        assert eng.step() is True
+        assert hits == [1]
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for i in range(7):
+            eng.schedule_at(float(i + 1), lambda: None)
+        eng.run()
+        assert eng.events_processed == 7
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        hits = []
+        h = eng.schedule_at(1.0, lambda: hits.append(1))
+        h.cancel()
+        eng.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        h = eng.schedule_at(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert h.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        eng = Engine()
+        h1 = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        h1.cancel()
+        assert eng.pending() == 1
+
+    def test_handle_reports_time(self):
+        eng = Engine()
+        h = eng.schedule_at(3.25, lambda: None)
+        assert h.time == 3.25

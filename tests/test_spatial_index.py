@@ -1,0 +1,91 @@
+"""Tests for the uniform-grid spatial index (vs brute force)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.spatial_index import GridIndex
+
+
+def brute_radius(positions, x, y, r):
+    d = positions - np.array([x, y])
+    return set(np.flatnonzero((d * d).sum(axis=1) <= r * r).tolist())
+
+
+class TestGridIndex:
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((5, 3)), 10.0)
+
+    def test_invalid_cell_size_raises(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((5, 2)), 0.0)
+
+    def test_empty_index(self):
+        idx = GridIndex(np.empty((0, 2)), 10.0)
+        assert len(idx) == 0
+        assert idx.query_radius(0, 0, 100).size == 0
+        with pytest.raises(ValueError):
+            idx.nearest(0, 0)
+
+    def test_radius_query_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 1000, size=(300, 2))
+        idx = GridIndex(pos, 250.0)
+        for _ in range(25):
+            x, y = rng.uniform(0, 1000, size=2)
+            got = set(idx.query_radius(x, y, 250.0).tolist())
+            assert got == brute_radius(pos, x, y, 250.0)
+
+    def test_radius_query_other_radius_still_correct(self):
+        rng = np.random.default_rng(4)
+        pos = rng.uniform(0, 500, size=(120, 2))
+        idx = GridIndex(pos, 250.0)  # cell size != query radius
+        for r in (50.0, 100.0, 400.0):
+            got = set(idx.query_radius(250, 250, r).tolist())
+            assert got == brute_radius(pos, 250, 250, r)
+
+    def test_radius_results_sorted(self):
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(0, 100, size=(60, 2))
+        idx = GridIndex(pos, 25.0)
+        out = idx.query_radius(50, 50, 40)
+        assert list(out) == sorted(out)
+
+    def test_rect_query_half_open(self):
+        pos = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 10.0]])
+        idx = GridIndex(pos, 10.0)
+        hits = set(idx.query_rect(0, 0, 10, 10).tolist())
+        assert hits == {0, 1}  # (10,10) excluded by half-open semantics
+
+    def test_nearest(self):
+        pos = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        idx = GridIndex(pos, 5.0)
+        assert idx.nearest(9.0, 1.0) == 1
+
+    def test_nearest_with_exclusion(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0]])
+        idx = GridIndex(pos, 5.0)
+        assert idx.nearest(0.0, 0.0, exclude=0) == 1
+
+    def test_negative_coordinates(self):
+        pos = np.array([[-100.0, -100.0], [-90.0, -100.0], [100.0, 100.0]])
+        idx = GridIndex(pos, 50.0)
+        got = set(idx.query_radius(-95.0, -100.0, 20.0).tolist())
+        assert got == {0, 1}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 80),
+        st.floats(10.0, 400.0),
+        st.integers(0, 10_000),
+    )
+    def test_radius_property(self, n, radius, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 1000, size=(n, 2))
+        idx = GridIndex(pos, 137.0)
+        x, y = rng.uniform(0, 1000, size=2)
+        got = set(idx.query_radius(x, y, radius).tolist())
+        assert got == brute_radius(pos, x, y, radius)

@@ -1,0 +1,94 @@
+"""Additional harness coverage: sweep overrides, table rendering edge
+cases, and RunResult accessors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweeps import sweep_metric
+from repro.experiments.tables import format_kv_block, format_series_table
+
+
+BASE = ExperimentConfig(
+    n_nodes=30, duration=6.0, n_pairs=2, field_size=600.0, seed=2
+)
+
+
+class TestSweepMetric:
+    def test_multi_protocol_grid(self):
+        means, cis = sweep_metric(
+            BASE,
+            "n_nodes",
+            [20, 30],
+            ["GPSR", "ALERT"],
+            lambda r: r.delivery_rate,
+            runs=1,
+        )
+        assert set(means) == {"GPSR", "ALERT"}
+        assert len(means["GPSR"]) == 2
+        assert all(0 <= v <= 1 for v in means["GPSR"] + means["ALERT"])
+
+    def test_extra_overrides_applied(self):
+        captured = []
+
+        def metric(r):
+            captured.append(r.config.alert_options)
+            return r.delivery_rate
+
+        sweep_metric(
+            BASE,
+            "speed",
+            [2.0],
+            ["ALERT"],
+            metric,
+            runs=1,
+            extra_overrides={
+                "ALERT": {"alert_options": {"promiscuous_destination": False}}
+            },
+        )
+        assert captured == [{"promiscuous_destination": False}]
+
+    def test_single_run_zero_ci(self):
+        _, cis = sweep_metric(
+            BASE, "speed", [2.0], ["GPSR"], lambda r: r.delivery_rate, runs=1
+        )
+        assert cis["GPSR"][0] == 0.0
+
+
+class TestRunResultAccessors:
+    def test_all_metric_properties(self):
+        r = run_experiment(BASE.with_(protocol="ALERT"))
+        assert 0.0 <= r.delivery_rate <= 1.0
+        assert r.mean_hops >= 0
+        assert r.participating_nodes >= 1
+        assert r.mean_rf_count >= 0 or math.isnan(r.mean_rf_count)
+        assert r.mean_hops_with_dissemination() >= r.mean_hops
+
+    def test_pairs_are_reported(self):
+        r = run_experiment(BASE.with_(protocol="GPSR"))
+        assert len(r.pairs) == 2
+        for s, d in r.pairs:
+            assert 0 <= s < 30 and 0 <= d < 30 and s != d
+
+
+class TestTableEdges:
+    def test_empty_rows(self):
+        text = format_series_table("t", "x", [], {"s": []})
+        assert "t" in text
+
+    def test_mixed_types(self):
+        text = format_series_table(
+            "t", "model", ["rwp", "group"], {"v": [1.0, 2.0]}
+        )
+        assert "rwp" in text and "group" in text
+
+    def test_kv_block_empty(self):
+        assert format_kv_block("Nothing", {}) == "Nothing"
+
+    def test_integer_values_not_float_formatted(self):
+        text = format_kv_block("T", {"count": 7})
+        assert "7" in text and "7.0000" not in text

@@ -1,0 +1,44 @@
+"""Tests for the ASCII field renderer."""
+
+from __future__ import annotations
+
+from repro.experiments.trace import render_field
+from repro.geometry.primitives import Rect
+from tests.conftest import build_network
+
+
+class TestRenderField:
+    def test_dimensions(self, static_network):
+        out = render_field(static_network, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # border + 10 rows + border
+        assert all(len(line) == 42 for line in lines)
+
+    def test_nodes_marked(self, static_network):
+        out = render_field(static_network)
+        assert "." in out
+
+    def test_route_endpoints_labeled(self, static_network):
+        net = static_network
+        route = [0, net.neighbors_of(0)[0], 5]
+        out = render_field(net, routes=[route])
+        assert "S" in out and "D" in out
+
+    def test_zone_outline(self, static_network):
+        out = render_field(
+            static_network, zone=Rect(100, 100, 300, 300), mark_nodes=False
+        )
+        assert out.count("#") >= 8
+
+    def test_multiple_routes_numbered(self, static_network):
+        net = static_network
+        nbrs = net.neighbors_of(0)
+        if len(nbrs) >= 2:
+            r1 = [0, nbrs[0], 10]
+            r2 = [0, nbrs[1], 11]
+            out = render_field(net, routes=[r1, r2])
+            assert "1" in out or "2" in out
+
+    def test_no_nodes_mode(self, static_network):
+        out = render_field(static_network, mark_nodes=False)
+        assert "." not in out

@@ -1,0 +1,58 @@
+"""Tests for the simulated zone-residency measurement (Figs. 12-13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.zone_residency import (
+    measure_remaining_nodes,
+    required_density_for_remaining,
+)
+
+
+class TestMeasureRemainingNodes:
+    def test_static_nodes_never_leave(self):
+        series = measure_remaining_nodes(100, 0.0, 5, [0.0, 20.0, 50.0], seed=1)
+        assert series[0] == series[1] == series[2]
+
+    def test_initial_population_matches_density(self):
+        series = measure_remaining_nodes(200, 2.0, 5, [0.0], seed=2)
+        # Expected rho·G/2^5 = 6.25; allow sampling noise.
+        assert 3.0 <= series[0] <= 10.0
+
+    def test_decays_with_time(self):
+        series = measure_remaining_nodes(200, 4.0, 5, [0.0, 30.0], seed=3)
+        assert series[1] < series[0]
+
+    def test_faster_decays_harder(self):
+        t = [0.0, 30.0]
+        slow = measure_remaining_nodes(200, 1.0, 5, t, seed=4)
+        fast = measure_remaining_nodes(200, 8.0, 5, t, seed=4)
+        assert fast[1] / max(fast[0], 1e-9) < slow[1] / max(slow[0], 1e-9)
+
+    def test_larger_zone_more_nodes(self):
+        h4 = measure_remaining_nodes(200, 2.0, 4, [0.0], seed=5)
+        h5 = measure_remaining_nodes(200, 2.0, 5, [0.0], seed=5)
+        assert h4[0] > h5[0]
+
+    def test_validates_times(self):
+        with pytest.raises(ValueError):
+            measure_remaining_nodes(100, 2.0, 5, [])
+        with pytest.raises(ValueError):
+            measure_remaining_nodes(100, 2.0, 5, [-1.0])
+
+
+class TestRequiredDensity:
+    def test_monotone_target(self):
+        densities = [50, 100, 200, 400]
+        lo = required_density_for_remaining(2.0, 2.0, 5, 10.0, densities, seed=6)
+        hi = required_density_for_remaining(8.0, 2.0, 5, 10.0, densities, seed=6)
+        assert hi >= lo
+
+    def test_caps_at_max_density(self):
+        out = required_density_for_remaining(1e6, 2.0, 5, 10.0, [50, 100], seed=7)
+        assert out == 100.0
+
+    def test_requires_densities(self):
+        with pytest.raises(ValueError):
+            required_density_for_remaining(5.0, 2.0, 5, 10.0, [])
