@@ -12,7 +12,8 @@ Fig. 10b: the count after 20 packets versus network size 50-200
 
 from __future__ import annotations
 
-from repro.experiments.runner import aggregate, run_many
+from repro.experiments.parallel import run_many_parallel
+from repro.experiments.runner import aggregate
 from repro.experiments.tables import format_series_table
 
 from _common import bench_runs, emit, once, paper_config
@@ -20,18 +21,26 @@ from _common import bench_runs, emit, once, paper_config
 PACKET_MARKS = [4, 8, 12, 16, 20]
 
 
+def _participants_series(r):
+    """Cumulative-participants curve of one run (picklable metric)."""
+    return r.metrics.cumulative_participants()
+
+
 def _cumulative_series(cfg):
     """Mean cumulative-participants curve at PACKET_MARKS."""
-    results = run_many(
-        cfg, runs=bench_runs(), max_packets_per_pair=max(PACKET_MARKS)
+    series_per_run = run_many_parallel(
+        cfg,
+        _participants_series,
+        runs=bench_runs(),
+        max_packets_per_pair=max(PACKET_MARKS),
     )
     out = []
     for mark in PACKET_MARKS:
-        vals = []
-        for r in results:
-            series = r.metrics.cumulative_participants()
-            if series:
-                vals.append(series[min(mark, len(series)) - 1])
+        vals = [
+            series[min(mark, len(series)) - 1]
+            for series in series_per_run
+            if series
+        ]
         out.append(aggregate(vals)[0])
     return out
 

@@ -8,12 +8,18 @@ with the analytical Fig. 7b; both series are printed side by side.
 from __future__ import annotations
 
 from repro.analysis.theory import expected_random_forwarders
-from repro.experiments.runner import aggregate, run_many
+from repro.experiments.parallel import run_many_parallel
+from repro.experiments.runner import aggregate
 from repro.experiments.tables import format_series_table
 
 from _common import bench_runs, emit, once, paper_config
 
 H_VALUES = [1, 2, 3, 4, 5, 6]
+
+
+def _rf_count_all(r):
+    """Mean RF count over all packets, delivered or not (picklable)."""
+    return r.metrics.mean_rf_count(delivered_only=False)
 
 
 def regen_fig11():
@@ -22,10 +28,8 @@ def regen_fig11():
         cfg = paper_config(
             protocol="ALERT", h_override=h, duration=40.0, n_pairs=6
         )
-        results = run_many(cfg, runs=bench_runs())
-        mean, ci = aggregate(
-            [r.metrics.mean_rf_count(delivered_only=False) for r in results]
-        )
+        values = run_many_parallel(cfg, _rf_count_all, runs=bench_runs())
+        mean, ci = aggregate(values)
         sim_means.append(mean)
         sim_cis.append(ci)
         theory.append(expected_random_forwarders(h))

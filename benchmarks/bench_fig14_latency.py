@@ -12,8 +12,9 @@ mildly increasing without.
 
 from __future__ import annotations
 
-from repro.experiments.runner import aggregate, run_many
-from repro.experiments.sweeps import sweep_metric
+from repro.experiments.parallel import run_many_parallel
+from repro.experiments.runner import aggregate
+from repro.experiments.sweeps import metric_mean_latency, sweep_metric
 from repro.experiments.tables import format_series_table
 
 from _common import bench_runs, emit, once, paper_config
@@ -29,7 +30,7 @@ def regen_fig14a():
         "n_nodes",
         SIZES,
         PROTOCOLS,
-        lambda r: r.mean_latency,
+        metric_mean_latency,
         runs=bench_runs(),
     )
     return means, format_series_table(
@@ -54,8 +55,10 @@ def regen_fig14b():
                     protocol=proto, speed=v, destination_update=update,
                     duration=80.0,
                 )
-                results = run_many(cfg, runs=bench_runs())
-                mean, ci = aggregate([r.mean_latency for r in results])
+                values = run_many_parallel(
+                    cfg, metric_mean_latency, runs=bench_runs()
+                )
+                mean, ci = aggregate(values)
                 m.append(mean)
                 c.append(ci)
             columns[label] = m

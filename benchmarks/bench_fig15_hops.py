@@ -14,7 +14,7 @@ lengthen routes); with update it stays flat.
 from __future__ import annotations
 
 from repro.experiments.runner import aggregate, run_many
-from repro.experiments.sweeps import sweep_metric
+from repro.experiments.sweeps import metric_mean_hops, sweep_metric
 from repro.experiments.tables import format_series_table
 
 from _common import bench_runs, emit, once, paper_config
@@ -29,7 +29,7 @@ def regen_fig15a():
         "n_nodes",
         SIZES,
         ["ALERT", "GPSR", "AO2P"],
-        lambda r: r.mean_hops,
+        metric_mean_hops,
         runs=bench_runs(),
     )
     # ALARM twice: plain data hops and with dissemination included.

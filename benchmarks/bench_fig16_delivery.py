@@ -11,8 +11,9 @@ local broadcast in the destination zone.
 
 from __future__ import annotations
 
-from repro.experiments.runner import aggregate, run_many
-from repro.experiments.sweeps import sweep_metric
+from repro.experiments.parallel import run_many_parallel
+from repro.experiments.runner import aggregate
+from repro.experiments.sweeps import metric_delivery_rate, sweep_metric
 from repro.experiments.tables import format_series_table
 
 from _common import bench_runs, emit, once, paper_config
@@ -28,7 +29,7 @@ def regen_fig16a():
         "n_nodes",
         SIZES,
         PROTOCOLS,
-        lambda r: r.delivery_rate,
+        metric_delivery_rate,
         runs=bench_runs(),
     )
     return means, format_series_table(
@@ -52,8 +53,10 @@ def regen_fig16b():
                     protocol=proto, speed=v, destination_update=update,
                     duration=100.0,
                 )
-                results = run_many(cfg, runs=bench_runs())
-                m.append(aggregate([r.delivery_rate for r in results])[0])
+                values = run_many_parallel(
+                    cfg, metric_delivery_rate, runs=bench_runs()
+                )
+                m.append(aggregate(values)[0])
             columns[label] = m
     return columns, format_series_table(
         "Fig. 16b — delivery rate vs node speed, with/without destination update",

@@ -8,7 +8,9 @@ and 5 groups > 10 groups > random waypoint.
 
 from __future__ import annotations
 
-from repro.experiments.runner import aggregate, run_many
+from repro.experiments.parallel import run_many_parallel
+from repro.experiments.runner import aggregate
+from repro.experiments.sweeps import metric_mean_latency
 from repro.experiments.tables import format_series_table
 
 from _common import bench_runs, emit, once, paper_config
@@ -28,8 +30,8 @@ def regen_fig17():
     runs = max(bench_runs(), 4)
     for _, overrides in CONDITIONS:
         cfg = paper_config(protocol="ALERT", duration=60.0, **overrides)
-        results = run_many(cfg, runs=runs)
-        mean, ci = aggregate([r.mean_latency for r in results])
+        values = run_many_parallel(cfg, metric_mean_latency, runs=runs)
+        mean, ci = aggregate(values)
         means.append(mean)
         cis.append(ci)
     labels = [name for name, _ in CONDITIONS]

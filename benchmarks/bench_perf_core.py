@@ -1,0 +1,224 @@
+"""Core performance harness: times the simulator's hot paths.
+
+Unlike the ``bench_fig*`` drivers (which regenerate the paper's
+figures), this harness measures *wall-clock* performance of the four
+layers every figure regeneration bottlenecks on:
+
+1. position snapshot build (vectorised mobility interpolation),
+2. spatial-index radius queries (neighbor discovery),
+3. a full hello round (snapshot + N queries + table updates),
+4. one end-to-end ALERT simulation,
+
+plus, optionally, a serial-vs-parallel sweep of one small figure.
+
+Results are written machine-readable to ``BENCH_perf.json`` at the
+repository root so subsequent changes have a perf trajectory to
+defend.  Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py          # full
+    PYTHONPATH=src python benchmarks/bench_perf_core.py --quick  # CI smoke
+
+or through pytest (``pytest benchmarks/bench_perf_core.py``), which
+executes the quick profile and asserts the report is well-formed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import Cell, parallel_map_cells, worker_count
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweeps import metric_delivery_rate
+from repro.geometry.field import Field
+from repro.geometry.spatial_index import GridIndex
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.net.network import Network
+from repro.sim.engine import Engine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+
+def _timeit(fn, reps: int) -> dict[str, float]:
+    """Run ``fn`` ``reps`` times; report mean/min wall-clock seconds."""
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "mean_s": float(np.mean(samples)),
+        "min_s": float(np.min(samples)),
+        "reps": reps,
+    }
+
+
+def _make_network(n_nodes: int) -> Network:
+    engine = Engine(seed=7)
+    fld = Field(1000.0, 1000.0)
+    net = Network(
+        engine,
+        fld,
+        lambda i, rng: RandomWaypoint(fld, rng, speed_min=2.0, speed_max=2.0),
+        n_nodes,
+    )
+    return net
+
+
+def bench_snapshot_build(n_nodes: int, reps: int) -> dict[str, float]:
+    """Cold-cache position snapshot builds (positions + grid index)."""
+    net = _make_network(n_nodes)
+    net.engine._now = 50.0  # force trajectories to materialise legs
+    net.snapshot()  # warm-up: trajectory extension is amortised cost
+
+    def build() -> None:
+        net._snapshot_time = -1.0  # invalidate the cache
+        net.snapshot()
+
+    out = _timeit(build, reps)
+    out["n_nodes"] = n_nodes
+    return out
+
+
+def bench_radius_query(n_nodes: int, reps: int) -> dict[str, float]:
+    """Radius queries against a built index (neighbor discovery)."""
+    rng = np.random.default_rng(11)
+    pos = rng.uniform(0.0, 1000.0, size=(n_nodes, 2))
+    index = GridIndex(pos, 250.0)
+    centers = rng.uniform(0.0, 1000.0, size=(256, 2))
+
+    def queries() -> None:
+        for cx, cy in centers:
+            index.query_radius(cx, cy, 250.0)
+
+    out = _timeit(queries, reps)
+    out["n_nodes"] = n_nodes
+    out["queries_per_rep"] = len(centers)
+    return out
+
+
+def bench_hello_round(n_nodes: int, reps: int) -> dict[str, float]:
+    """One full beacon round: snapshot + N neighbor queries + updates."""
+    net = _make_network(n_nodes)
+    net.engine._now = 10.0
+    net.snapshot()
+    out = _timeit(net._emit_hello_round, reps)
+    out["n_nodes"] = n_nodes
+    return out
+
+
+def bench_alert_run(duration: float) -> dict[str, float]:
+    """One end-to-end ALERT simulation at the paper's defaults."""
+    cfg = ExperimentConfig(
+        protocol="ALERT", n_nodes=200, duration=duration, n_pairs=10
+    )
+    out = _timeit(lambda: run_experiment(cfg), 1)
+    out["n_nodes"] = cfg.n_nodes
+    out["sim_duration_s"] = duration
+    return out
+
+
+def bench_sweep(workers: int, duration: float, runs: int) -> dict[str, float]:
+    """Serial vs parallel execution of one small figure sweep."""
+    base = ExperimentConfig(duration=duration, n_pairs=5)
+    cells = [
+        Cell(base.with_(n_nodes=n, protocol=p), metric_delivery_rate, runs)
+        for n in (100, 150)
+        for p in ("ALERT", "GPSR")
+    ]
+
+    t0 = time.perf_counter()
+    serial = parallel_map_cells(cells, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = parallel_map_cells(cells, workers=workers)
+    parallel_s = time.perf_counter() - t0
+
+    return {
+        "cells": len(cells),
+        "runs_per_cell": runs,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("nan"),
+        "identical_results": serial == parallel,
+    }
+
+
+def run_harness(quick: bool = False, sweep: bool = True) -> dict:
+    """Execute every benchmark and assemble the report dict."""
+    reps = 3 if quick else 10
+    n_nodes = 200
+    report: dict = {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+        "timings": {
+            "snapshot_build": bench_snapshot_build(n_nodes, reps),
+            "radius_query": bench_radius_query(n_nodes, reps),
+            "hello_round": bench_hello_round(n_nodes, reps),
+            "alert_run": bench_alert_run(10.0 if quick else 60.0),
+        },
+    }
+    if sweep:
+        report["timings"]["sweep"] = bench_sweep(
+            workers=worker_count() if worker_count() > 1 else 4,
+            duration=5.0 if quick else 20.0,
+            runs=1 if quick else 2,
+        )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="fast CI smoke profile"
+    )
+    parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the serial-vs-parallel sweep comparison",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPORT_PATH,
+        help=f"report path (default {REPORT_PATH})",
+    )
+    args = parser.parse_args(argv)
+    report = run_harness(quick=args.quick, sweep=not args.no_sweep)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report["timings"], indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+def test_perf_harness_smoke(tmp_path):
+    """The harness runs end to end and produces a well-formed report."""
+    report = run_harness(quick=True, sweep=True)
+    for key in ("snapshot_build", "radius_query", "hello_round", "alert_run"):
+        assert report["timings"][key]["mean_s"] > 0.0
+    assert report["timings"]["sweep"]["identical_results"]
+    out = tmp_path / "BENCH_perf.json"
+    out.write_text(json.dumps(report))
+    assert json.loads(out.read_text())["schema"] == 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,10 @@ __all__ = [
     "format_kv_block",
     "sweep_metric",
     "sweep_single",
+    "run_many_parallel",
+    "parallel_map_cells",
+    "worker_count",
+    "Cell",
 ]
 
 _LAZY = {
@@ -33,6 +37,10 @@ _LAZY = {
     "RunResult": "repro.experiments.runner",
     "sweep_metric": "repro.experiments.sweeps",
     "sweep_single": "repro.experiments.sweeps",
+    "run_many_parallel": "repro.experiments.parallel",
+    "parallel_map_cells": "repro.experiments.parallel",
+    "worker_count": "repro.experiments.parallel",
+    "Cell": "repro.experiments.parallel",
 }
 
 

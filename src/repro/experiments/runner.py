@@ -226,6 +226,16 @@ def run_experiment(
     )
 
 
+def seed_for_run(cfg: ExperimentConfig, i: int) -> int:
+    """Seed of repetition ``i`` of an experiment.
+
+    Shared by the serial (:func:`run_many`) and process-parallel
+    (:mod:`repro.experiments.parallel`) paths so the two can never
+    drift apart.
+    """
+    return cfg.seed + 1000 * i
+
+
 def run_many(
     cfg: ExperimentConfig,
     runs: int | None = None,
@@ -235,7 +245,7 @@ def run_many(
     n = runs if runs is not None else default_runs()
     return [
         run_experiment(
-            cfg.with_(seed=cfg.seed + 1000 * i),
+            cfg.with_(seed=seed_for_run(cfg, i)),
             max_packets_per_pair=max_packets_per_pair,
         )
         for i in range(n)

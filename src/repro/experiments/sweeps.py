@@ -3,6 +3,14 @@
 ``sweep_metric`` runs a grid of (protocol × x-value) cells, each
 averaged over seeds, and returns mean/CI series ready for
 :func:`repro.experiments.tables.format_series_table`.
+
+Cells execute through :mod:`repro.experiments.parallel`: with
+``REPRO_WORKERS`` > 1 (the default is ``os.cpu_count()``) every
+(protocol × x-value × seed) simulation runs in a process pool, and the
+results are bit-identical to the serial path because each cell is
+independently seeded.  Metrics passed as lambdas cannot cross process
+boundaries and silently run serially — prefer the named ``metric_*``
+extractors below.
 """
 
 from __future__ import annotations
@@ -10,10 +18,40 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import RunResult, aggregate, run_many
+from repro.experiments.parallel import Cell, parallel_map_cells
+from repro.experiments.runner import RunResult, aggregate, default_runs
 
 
 MetricFn = Callable[[RunResult], float]
+
+
+# ----------------------------------------------------------------------
+# Named metric extractors (picklable, unlike lambdas, so sweeps using
+# them parallelise across processes).
+# ----------------------------------------------------------------------
+def metric_delivery_rate(r: RunResult) -> float:
+    """Fraction of data packets delivered (§5.2 metric 6)."""
+    return r.delivery_rate
+
+
+def metric_mean_latency(r: RunResult) -> float:
+    """Mean end-to-end delay over delivered packets (metric 5)."""
+    return r.mean_latency
+
+
+def metric_mean_hops(r: RunResult) -> float:
+    """Accumulated hops / packets sent (metric 4)."""
+    return r.mean_hops
+
+
+def metric_mean_rf_count(r: RunResult) -> float:
+    """Mean random forwarders per delivered packet (metric 2)."""
+    return r.mean_rf_count
+
+
+def metric_participating_nodes(r: RunResult) -> float:
+    """Distinct nodes that forwarded any packet (metric 1)."""
+    return float(r.participating_nodes)
 
 
 def sweep_metric(
@@ -25,6 +63,7 @@ def sweep_metric(
     runs: int | None = None,
     max_packets_per_pair: int | None = None,
     extra_overrides: Mapping[str, Mapping[str, Any]] | None = None,
+    workers: int | None = None,
 ) -> tuple[dict[str, list[float]], dict[str, list[float]]]:
     """Sweep ``x_field`` over ``x_values`` for each protocol.
 
@@ -34,29 +73,47 @@ def sweep_metric(
         Baseline config; each cell applies ``{x_field: value,
         protocol: p}`` on top.
     metric:
-        Extractor from a finished :class:`RunResult`.
+        Extractor from a finished :class:`RunResult`.  Use a module-
+        level function (e.g. :func:`metric_delivery_rate`) to allow
+        parallel execution; lambdas still work but force serial runs.
     extra_overrides:
         Optional per-protocol config overrides (e.g. ALERT options).
+    workers:
+        Process-pool width; ``None`` defers to ``REPRO_WORKERS`` /
+        ``os.cpu_count()``, ``1`` forces serial execution.
 
     Returns
     -------
     (means, cis):
         Series name → list over ``x_values``.
     """
-    means: dict[str, list[float]] = {p: [] for p in protocols}
-    cis: dict[str, list[float]] = {p: [] for p in protocols}
+    n_runs = runs if runs is not None else default_runs()
+    cells: list[Cell] = []
     for value in x_values:
         for proto in protocols:
             overrides: dict[str, Any] = {x_field: value, "protocol": proto}
             if extra_overrides and proto in extra_overrides:
                 overrides.update(extra_overrides[proto])
-            cfg = base.with_(**overrides)
-            results = run_many(
-                cfg, runs=runs, max_packets_per_pair=max_packets_per_pair
+            cells.append(
+                Cell(
+                    base.with_(**overrides),
+                    metric,
+                    n_runs,
+                    max_packets_per_pair,
+                )
             )
-            mean, ci = aggregate([metric(r) for r in results])
+
+    per_cell = parallel_map_cells(cells, workers=workers)
+
+    means: dict[str, list[float]] = {p: [] for p in protocols}
+    cis: dict[str, list[float]] = {p: [] for p in protocols}
+    k = 0
+    for _value in x_values:
+        for proto in protocols:
+            mean, ci = aggregate(per_cell[k])
             means[proto].append(mean)
             cis[proto].append(ci)
+            k += 1
     return means, cis
 
 
@@ -67,6 +124,7 @@ def sweep_single(
     metric: MetricFn,
     runs: int | None = None,
     max_packets_per_pair: int | None = None,
+    workers: int | None = None,
 ) -> tuple[list[float], list[float]]:
     """One-protocol sweep; returns (means, cis) over ``x_values``."""
     means, cis = sweep_metric(
@@ -77,5 +135,6 @@ def sweep_single(
         metric,
         runs=runs,
         max_packets_per_pair=max_packets_per_pair,
+        workers=workers,
     )
     return means[base.protocol], cis[base.protocol]

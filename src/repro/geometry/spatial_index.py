@@ -6,6 +6,12 @@ right now?".  A uniform grid with cell size equal to the query radius
 answers that with a 3×3-cell candidate gather plus one vectorised
 distance filter — O(candidates) instead of O(N) per query.
 
+Buckets are built by lexicographically sorting the integer ``(cx, cy)``
+cell coordinates.  An earlier revision keyed buckets on a single
+multiplicative hash of the pair, which let two distinct cells collide
+and silently merge — misplacing their nodes under the first cell's key
+and dropping true neighbors.  Sorting on the exact pair cannot collide.
+
 The index is immutable once built; mobility rebuilds it per time
 snapshot (see :class:`repro.net.network.Network`).
 """
@@ -13,6 +19,11 @@ snapshot (see :class:`repro.net.network.Network`).
 from __future__ import annotations
 
 import numpy as np
+
+#: Below this population, one vectorised full scan beats per-bucket
+#: gathering for rect and nearest queries (radius queries still use the
+#: grid: their 3×3-cell candidate set is small at any N).
+_SMALL_N = 512
 
 
 class GridIndex:
@@ -39,9 +50,22 @@ class GridIndex:
         # Cell coordinates of every node.
         cells = np.floor(positions / self.cell_size).astype(np.int64)
         self._cells = cells
-        # Bucket node indices by cell using a sort for cache-friendliness.
+        # Bucket node indices by exact (cx, cy) pair.  The key is the
+        # pair's rank in a dense row-major numbering of the occupied
+        # bounding box — injective by construction, unlike the old
+        # multiplicative hash, which could map two distinct cells to
+        # one key and silently merge their buckets.
         if self._n:
-            keys = cells[:, 0] * np.int64(0x9E3779B1) + cells[:, 1]
+            cx_min = int(cells[:, 0].min())
+            cx_max = int(cells[:, 0].max())
+            cy_min = int(cells[:, 1].min())
+            cy_max = int(cells[:, 1].max())
+            self._cell_min = (cx_min, cy_min)
+            self._cell_max = (cx_max, cy_max)
+            # Injective while the occupied box has < 2^63 cells, i.e.
+            # for any field reachable from float64 coordinates.
+            stride = np.int64(cy_max - cy_min + 1)
+            keys = (cells[:, 0] - cx_min) * stride + (cells[:, 1] - cy_min)
             order = np.argsort(keys, kind="stable")
             self._order = order
             sorted_keys = keys[order]
@@ -56,25 +80,47 @@ class GridIndex:
                 self._buckets[(int(c[0]), int(c[1]))] = idx
         else:
             self._buckets = {}
+            self._cell_min = (0, 0)
+            self._cell_max = (-1, -1)
 
     def __len__(self) -> int:
         return self._n
 
     # ------------------------------------------------------------------
+    def _gather_cells(
+        self, cx0: int, cy0: int, cx1: int, cy1: int
+    ) -> np.ndarray:
+        """Indices of nodes in cells of the inclusive range given.
+
+        Probes individual buckets when the range is small; falls back
+        to one pass over the occupied buckets when probing would touch
+        more (mostly empty) cells than buckets exist.
+        """
+        buckets = self._buckets
+        n_cells = (cx1 - cx0 + 1) * (cy1 - cy0 + 1)
+        chunks = []
+        if n_cells <= len(buckets):
+            for i in range(cx0, cx1 + 1):
+                for j in range(cy0, cy1 + 1):
+                    bucket = buckets.get((i, j))
+                    if bucket is not None:
+                        chunks.append(bucket)
+        else:
+            for (i, j), bucket in buckets.items():
+                if cx0 <= i <= cx1 and cy0 <= j <= cy1:
+                    chunks.append(bucket)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
     def _candidates(self, x: float, y: float, radius: float) -> np.ndarray:
         """Indices of nodes in cells overlapping the query disk's bbox."""
         reach = int(np.ceil(radius / self.cell_size))
         cx = int(np.floor(x / self.cell_size))
         cy = int(np.floor(y / self.cell_size))
-        chunks = []
-        for i in range(cx - reach, cx + reach + 1):
-            for j in range(cy - reach, cy + reach + 1):
-                bucket = self._buckets.get((i, j))
-                if bucket is not None:
-                    chunks.append(bucket)
-        if not chunks:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(chunks)
+        return self._gather_cells(cx - reach, cy - reach, cx + reach, cy + reach)
 
     def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
         """Indices of all nodes within ``radius`` of ``(x, y)``.
@@ -92,13 +138,50 @@ class GridIndex:
         return out
 
     def query_rect(self, x0: float, y0: float, x1: float, y1: float) -> np.ndarray:
-        """Indices of nodes inside the half-open rect [x0,x1) × [y0,y1)."""
-        p = self.positions
+        """Indices of nodes inside the half-open rect [x0,x1) × [y0,y1).
+
+        Gathers candidate buckets overlapping the rect (instead of
+        scanning all N positions) and filters them exactly; results are
+        sorted ascending.
+        """
+        if self._n == 0 or x1 <= x0 or y1 <= y0:
+            return np.empty(0, dtype=np.int64)
+        if self._n <= _SMALL_N:
+            # One vectorised scan beats per-bucket gathering below a
+            # few hundred nodes (same result set either way).
+            p = self.positions
+            mask = (
+                (p[:, 0] >= x0)
+                & (p[:, 0] < x1)
+                & (p[:, 1] >= y0)
+                & (p[:, 1] < y1)
+            )
+            return np.flatnonzero(mask)
+        cs = self.cell_size
+        cand = self._gather_cells(
+            int(np.floor(x0 / cs)),
+            int(np.floor(y0 / cs)),
+            # x1/y1 are exclusive, but the edge cell can still hold
+            # points strictly inside the rect.
+            int(np.floor(x1 / cs)),
+            int(np.floor(y1 / cs)),
+        )
+        if cand.size == 0:
+            return cand
+        p = self.positions[cand]
         mask = (p[:, 0] >= x0) & (p[:, 0] < x1) & (p[:, 1] >= y0) & (p[:, 1] < y1)
-        return np.flatnonzero(mask)
+        out = cand[mask]
+        out.sort()
+        return out
 
     def nearest(self, x: float, y: float, exclude: int | None = None) -> int:
         """Index of the node nearest to ``(x, y)``.
+
+        Expanding-ring search over the grid buckets: candidate cells
+        are visited in growing Chebyshev rings around the query cell,
+        stopping once no unvisited ring can beat the best hit.  Ties on
+        distance resolve to the smallest node index (matching a full
+        ``argmin`` scan).
 
         Parameters
         ----------
@@ -108,12 +191,83 @@ class GridIndex:
         Raises
         ------
         ValueError
-            If the index is empty (or holds only the excluded node).
+            If the index is empty or holds only the excluded node.
         """
-        if self._n == 0 or (self._n == 1 and exclude == 0):
+        if self._n == 0:
             raise ValueError("nearest() on an empty index")
-        d = self.positions - np.array([x, y])
-        dist2 = (d * d).sum(axis=1)
-        if exclude is not None:
-            dist2[exclude] = np.inf
-        return int(np.argmin(dist2))
+        if self._n <= _SMALL_N:
+            # A full argmin is one vectorised op — faster than ring
+            # bookkeeping below a few hundred nodes, identical result
+            # (argmin and the ring search both tie-break to the
+            # smallest index).
+            if self._n == 1 and exclude == 0:
+                raise ValueError("nearest() on an empty index")
+            d = self.positions - np.array([x, y])
+            dist2 = (d * d).sum(axis=1)
+            if exclude is not None and 0 <= exclude < self._n:
+                dist2[exclude] = np.inf
+            return int(np.argmin(dist2))
+        cs = self.cell_size
+        cx = int(np.floor(x / cs))
+        cy = int(np.floor(y / cs))
+        # Largest ring that can still reach an occupied cell.
+        max_ring = max(
+            abs(cx - self._cell_min[0]),
+            abs(cx - self._cell_max[0]),
+            abs(cy - self._cell_min[1]),
+            abs(cy - self._cell_max[1]),
+        )
+        q = np.array([x, y])
+        best_idx = -1
+        best_d2 = np.inf
+        ring = 0
+        while ring <= max_ring:
+            # A cell in ring r is at least (r - 1) * cell_size away
+            # from any point inside the query's own cell.
+            if best_idx >= 0 and (ring - 1) * cs > 0 and (
+                ((ring - 1) * cs) ** 2 > best_d2
+            ):
+                break
+            cand = self._ring_candidates(cx, cy, ring)
+            if cand.size:
+                if exclude is not None:
+                    cand = cand[cand != exclude]
+                if cand.size:
+                    d = self.positions[cand] - q
+                    d2 = (d * d).sum(axis=1)
+                    k = int(np.argmin(d2))
+                    ring_d2 = float(d2[k])
+                    # Smallest index among ties within the ring.
+                    ring_idx = int(cand[d2 == ring_d2].min())
+                    if ring_d2 < best_d2 or (
+                        ring_d2 == best_d2 and ring_idx < best_idx
+                    ):
+                        best_d2 = ring_d2
+                        best_idx = ring_idx
+            ring += 1
+        if best_idx < 0:
+            raise ValueError("nearest() on an empty index")
+        return best_idx
+
+    def _ring_candidates(self, cx: int, cy: int, ring: int) -> np.ndarray:
+        """Indices of nodes in cells at Chebyshev distance ``ring``."""
+        buckets = self._buckets
+        if ring == 0:
+            bucket = buckets.get((cx, cy))
+            return bucket if bucket is not None else np.empty(0, dtype=np.int64)
+        chunks = []
+        for i in range(cx - ring, cx + ring + 1):
+            for j in (cy - ring, cy + ring):
+                bucket = buckets.get((i, j))
+                if bucket is not None:
+                    chunks.append(bucket)
+        for j in range(cy - ring + 1, cy + ring):
+            for i in (cx - ring, cx + ring):
+                bucket = buckets.get((i, j))
+                if bucket is not None:
+                    chunks.append(bucket)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)

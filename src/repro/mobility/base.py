@@ -5,6 +5,9 @@ from __future__ import annotations
 import bisect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.geometry.primitives import Point
 
@@ -21,9 +24,110 @@ class MobilityModel(ABC):
     def position(self, t: float) -> Point:
         """Position of the node at time ``t`` (seconds, ``t >= 0``)."""
 
+    def position_xy(self, t: float) -> tuple[float, float]:
+        """Position at ``t`` as a plain ``(x, y)`` tuple.
+
+        Hot-path variant of :meth:`position` that skips the
+        :class:`~repro.geometry.primitives.Point` allocation; models
+        with trajectory machinery override it.
+        """
+        p = self.position(t)
+        return (p.x, p.y)
+
     def speed(self) -> float:
         """Nominal speed in m/s (0 for static models); diagnostic only."""
         return 0.0
+
+    @classmethod
+    def fill_positions(
+        cls,
+        models: Sequence["MobilityModel"],
+        t: float,
+        out: np.ndarray,
+        rows: np.ndarray,
+    ) -> None:
+        """Write the positions of ``models`` at ``t`` into ``out[rows]``.
+
+        The batch hook behind :func:`positions_at`: subclasses override
+        it with a vectorised implementation over homogeneous model
+        groups.  The fallback loops :meth:`position_xy`, which is
+        correct for any model.  Implementations must visit ``models``
+        in the given order so that shared-RNG trajectory extensions
+        draw in the same sequence as per-node scalar queries.
+        """
+        for k, m in enumerate(models):
+            x, y = m.position_xy(t)
+            r = rows[k]
+            out[r, 0] = x
+            out[r, 1] = y
+
+
+def interpolate_segments(segments: Sequence[Segment], t: float) -> np.ndarray:
+    """Vectorised :meth:`Segment.at` over many segments at one time.
+
+    Returns an ``(N, 2)`` array; row ``k`` is bit-identical to
+    ``segments[k].at(t)`` (same operation order, IEEE-754 arithmetic).
+    """
+    n = len(segments)
+    t0 = np.empty(n, dtype=np.float64)
+    t1 = np.empty(n, dtype=np.float64)
+    sx = np.empty(n, dtype=np.float64)
+    sy = np.empty(n, dtype=np.float64)
+    ex = np.empty(n, dtype=np.float64)
+    ey = np.empty(n, dtype=np.float64)
+    for k, seg in enumerate(segments):
+        t0[k] = seg.t0
+        t1[k] = seg.t1
+        s = seg.start
+        e = seg.end
+        sx[k] = s.x
+        sy[k] = s.y
+        ex[k] = e.x
+        ey[k] = e.y
+    dt = t1 - t0
+    moving = dt > 0.0
+    u = (t - t0) / np.where(moving, dt, 1.0)
+    np.clip(u, 0.0, 1.0, out=u)
+    u[~moving] = 0.0  # pauses / degenerate legs sit at their start
+    out = np.empty((n, 2), dtype=np.float64)
+    out[:, 0] = sx + (ex - sx) * u
+    out[:, 1] = sy + (ey - sy) * u
+    return out
+
+
+def positions_at(
+    models: Sequence[MobilityModel], t: float, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Positions of all ``models`` at time ``t`` as an ``(N, 2)`` array.
+
+    The batch equivalent of ``[m.position(t) for m in models]``:
+    models are grouped by concrete class and dispatched to each class's
+    :meth:`MobilityModel.fill_positions`, so homogeneous populations
+    (the common case — one mobility model per experiment) interpolate
+    the whole snapshot with a handful of NumPy operations instead of N
+    Python calls.  Results are bit-identical to the scalar path.
+
+    Groups are processed in first-appearance order and models within a
+    group in input order, preserving the RNG draw sequence of a plain
+    scalar loop even when models share random streams (RPGM).
+    """
+    n = len(models)
+    if out is None:
+        out = np.empty((n, 2), dtype=np.float64)
+    if n == 0:
+        return out
+    first_cls = type(models[0])
+    if all(type(m) is first_cls for m in models):
+        # Homogeneous population: one dispatch, no index gymnastics.
+        first_cls.fill_positions(models, t, out, np.arange(n))
+        return out
+    groups: dict[type, list[int]] = {}
+    for i, m in enumerate(models):
+        groups.setdefault(type(m), []).append(i)
+    for cls_, idxs in groups.items():
+        rows = np.asarray(idxs, dtype=np.intp)
+        cls_.fill_positions([models[i] for i in idxs], t, out, rows)
+    return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,3 +223,28 @@ class Trajectory:
             return segments[-1].end
         self._last_idx = i
         return segments[i].at(t)
+
+    def segment_at(self, t: float) -> Segment:
+        """The segment covering time ``t`` (for batch interpolation).
+
+        Returns a (possibly degenerate) segment whose clamped
+        interpolation at ``t`` equals :meth:`at`.  Uses the same query
+        cache as :meth:`at`.
+        """
+        segments = self._segments
+        if not segments:
+            o = self._origin
+            return Segment(0.0, 0.0, o, o)
+        i = self._last_idx
+        if i < len(segments):
+            seg = segments[i]
+            if seg.t0 <= t <= seg.t1:
+                return seg
+        if t <= segments[0].t0:
+            return segments[0]
+        i = bisect.bisect_left(self._ends, t)
+        if i >= len(segments):
+            last = segments[-1]
+            return Segment(last.t1, last.t1, last.end, last.end)
+        self._last_idx = i
+        return segments[i]

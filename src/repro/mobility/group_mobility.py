@@ -11,11 +11,13 @@ to 200 m with five groups" (§5.1).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.geometry.field import Field
 from repro.geometry.primitives import Point
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import MobilityModel, Segment, interpolate_segments
 from repro.mobility.random_waypoint import RandomWaypoint
 
 
@@ -36,6 +38,10 @@ class GroupReference:
     def position(self, t: float) -> Point:
         """Reference-point position at ``t``."""
         return self._motion.position(t)
+
+    def current_segment(self, t: float) -> Segment:
+        """The reference trajectory's segment covering ``t``."""
+        return self._motion.current_segment(t)
 
 
 class GroupMobility(MobilityModel):
@@ -86,6 +92,36 @@ class GroupMobility(MobilityModel):
 
     def speed(self) -> float:
         return self._local.speed()
+
+    @classmethod
+    def fill_positions(
+        cls,
+        models: Sequence[MobilityModel],
+        t: float,
+        out: np.ndarray,
+        rows: np.ndarray,
+    ) -> None:
+        """Vectorised RPGM batch snapshot.
+
+        Per member, the reference trajectory is extended before the
+        local one (matching the scalar ``position`` call order, which
+        matters because RPGM members share one RNG stream); both
+        interpolations and the clamp then run as single NumPy ops.
+        """
+        ref_segs: list[Segment] = []
+        loc_segs: list[Segment] = []
+        for m in models:
+            ref_segs.append(m.reference.current_segment(t))  # type: ignore[attr-defined]
+            loc_segs.append(m._local.current_segment(t))  # type: ignore[attr-defined]
+        centers = interpolate_segments(ref_segs, t)
+        locals_ = interpolate_segments(loc_segs, t)
+        gr = np.array([m.group_range for m in models])  # type: ignore[attr-defined]
+        w = np.array([m.field.width for m in models])  # type: ignore[attr-defined]
+        h = np.array([m.field.height for m in models])  # type: ignore[attr-defined]
+        x = centers[:, 0] + locals_[:, 0] - gr
+        y = centers[:, 1] + locals_[:, 1] - gr
+        out[rows, 0] = np.minimum(np.maximum(x, 0.0), w)
+        out[rows, 1] = np.minimum(np.maximum(y, 0.0), h)
 
 
 def make_group_mobility(

@@ -14,6 +14,7 @@ ALARM, AO2P) is built from these.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Sequence
 
 import numpy as np
@@ -22,7 +23,7 @@ from repro.crypto.keys import generate_keypair
 from repro.geometry.field import Field
 from repro.geometry.primitives import Point, Rect
 from repro.geometry.spatial_index import GridIndex
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import MobilityModel, positions_at
 from repro.net.mac import Mac80211Dcf, MacOutcome
 from repro.net.neighbor_table import NeighborEntry
 from repro.net.node import Node
@@ -103,8 +104,17 @@ class Network:
         self._snapshot_time: float = -1.0
         self._snapshot_positions: np.ndarray | None = None
         self._snapshot_index: GridIndex | None = None
+        self._mobilities = [node.mobility for node in self.nodes]
 
-        # In-flight transmissions for contention: (end_time, x, y).
+        # Active-node mask, invalidated by node fail()/restore() hooks
+        # so neighbor queries need not re-check every hit's flag.
+        self._active_mask: np.ndarray | None = None
+        for node in self.nodes:
+            node.on_state_change = self._invalidate_active_mask
+
+        # In-flight transmissions for contention, kept as a min-heap on
+        # end time: (end_time, x, y).  Expired entries pop off the
+        # front instead of rebuilding the list on every load query.
         self._in_flight: list[tuple[float, float, float]] = []
 
         #: pluggable metrics sink
@@ -142,11 +152,9 @@ class Network:
             self._snapshot_index is None
             or now - self._snapshot_time > self.snapshot_resolution
         ):
-            pos = np.empty((self.n_nodes, 2), dtype=np.float64)
-            for node in self.nodes:
-                p = node.position(now)
-                pos[node.id, 0] = p.x
-                pos[node.id, 1] = p.y
+            # Batch query: one vectorised interpolation over all nodes
+            # (node i's mobility fills row i) instead of N scalar calls.
+            pos = positions_at(self._mobilities, now)
             self._snapshot_positions = pos
             self._snapshot_index = GridIndex(pos, self.radio.range_m)
             self._snapshot_time = now
@@ -154,14 +162,24 @@ class Network:
         assert self._snapshot_index is not None
         return self._snapshot_positions, self._snapshot_index
 
+    def _invalidate_active_mask(self, _node: Node) -> None:
+        self._active_mask = None
+
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of live nodes, cached until a node flips state."""
+        if self._active_mask is None:
+            self._active_mask = np.fromiter(
+                (n.active for n in self.nodes), dtype=bool, count=self.n_nodes
+            )
+        return self._active_mask
+
     def neighbors_of(self, node_id: int) -> list[int]:
         """Oracle: live node ids within radio range now (excl. self)."""
         _, index = self.snapshot()
         p = self.position_of(node_id)
         hits = index.query_radius(p.x, p.y, self.radio.range_m)
-        return [
-            int(i) for i in hits if i != node_id and self.nodes[i].active
-        ]
+        live = hits[self.active_mask()[hits]]
+        return [int(i) for i in live if i != node_id]
 
     def nodes_in_rect(self, rect: Rect) -> list[int]:
         """Oracle: node ids currently inside ``rect`` (half-open)."""
@@ -179,19 +197,25 @@ class Network:
     def _local_load(self, around: Point) -> float:
         """Concurrent in-flight transmissions within carrier sense."""
         now = self.engine.now
-        if self._in_flight:
-            self._in_flight = [e for e in self._in_flight if e[0] > now]
+        in_flight = self._in_flight
+        # Expired transmissions sit at the heap front; pop them off.
+        while in_flight and in_flight[0][0] <= now:
+            heapq.heappop(in_flight)
         cs2 = self.cs_range * self.cs_range
+        ax = around.x
+        ay = around.y
         count = 0
-        for _, x, y in self._in_flight:
-            dx = x - around.x
-            dy = y - around.y
+        for _, x, y in in_flight:
+            dx = x - ax
+            dy = y - ay
             if dx * dx + dy * dy <= cs2:
                 count += 1
         return float(count)
 
     def _register_tx(self, origin: Point, duration: float) -> None:
-        self._in_flight.append((self.engine.now + duration, origin.x, origin.y))
+        heapq.heappush(
+            self._in_flight, (self.engine.now + duration, origin.x, origin.y)
+        )
 
     # ------------------------------------------------------------------
     # communication primitives

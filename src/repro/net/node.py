@@ -61,6 +61,9 @@ class Node:
         self.pseudonyms = PseudonymManager(mac, rng, lifetime=pseudonym_lifetime)
         self.neighbors = NeighborTable(ttl=neighbor_ttl)
         self.on_receive: ReceiveHook | None = None
+        #: substrate hook fired on fail()/restore(); the owning Network
+        #: uses it to invalidate its cached active-node mask.
+        self.on_state_change: Callable[["Node"], None] | None = None
         #: per-node energy proxy: frames transmitted / received
         self.tx_count = 0
         self.rx_count = 0
@@ -71,10 +74,14 @@ class Node:
     def fail(self) -> None:
         """Disable the node (compromise / battery death)."""
         self.active = False
+        if self.on_state_change is not None:
+            self.on_state_change(self)
 
     def restore(self) -> None:
         """Bring the node back online."""
         self.active = True
+        if self.on_state_change is not None:
+            self.on_state_change(self)
 
     def position(self, t: float) -> Point:
         """True position at time ``t`` (substrate/oracle use only)."""

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 

@@ -1,0 +1,140 @@
+"""Tests for the process-parallel experiment executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    Cell,
+    parallel_map_cells,
+    run_many_parallel,
+    worker_count,
+)
+from repro.experiments.runner import run_many, seed_for_run
+from repro.experiments.sweeps import (
+    metric_delivery_rate,
+    metric_mean_hops,
+    sweep_metric,
+)
+
+SMALL = ExperimentConfig(
+    n_nodes=30, duration=5.0, n_pairs=2, field_size=600.0, seed=5
+)
+
+
+class TestWorkerCount:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert worker_count() == 3
+
+    def test_env_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert worker_count() == 1
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert worker_count() == (os.cpu_count() or 1)
+
+    def test_non_numeric_env_raises_clearly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "abc")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            worker_count()
+
+
+class TestSeedDerivation:
+    def test_matches_run_many_convention(self):
+        cell = Cell(SMALL, metric_delivery_rate, runs=3)
+        seeds = [c.seed for c in cell.seed_configs()]
+        assert seeds == [seed_for_run(SMALL, i) for i in range(3)]
+        assert seeds == [5, 1005, 2005]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = [
+            metric_delivery_rate(r) for r in run_many(SMALL, runs=3)
+        ]
+        parallel = run_many_parallel(
+            SMALL, metric_delivery_rate, runs=3, workers=4
+        )
+        assert parallel == serial  # exact float equality, not approx
+
+    def test_workers_one_is_serial_fallback(self):
+        one = run_many_parallel(SMALL, metric_mean_hops, runs=2, workers=1)
+        four = run_many_parallel(SMALL, metric_mean_hops, runs=2, workers=4)
+        assert one == four
+
+    def test_lambda_metric_falls_back_to_serial(self):
+        # Lambdas cannot cross process boundaries; the executor must
+        # degrade to in-process execution, not crash.
+        values = run_many_parallel(
+            SMALL, lambda r: r.delivery_rate, runs=2, workers=4
+        )
+        serial = [r.delivery_rate for r in run_many(SMALL, runs=2)]
+        assert values == serial
+
+    def test_map_cells_preserves_cell_order(self):
+        cells = [
+            Cell(SMALL.with_(protocol=p), metric_delivery_rate, runs=2)
+            for p in ("ALERT", "GPSR", "ALARM")
+        ]
+        grouped = parallel_map_cells(cells, workers=4)
+        assert len(grouped) == 3
+        for cell, values in zip(cells, grouped):
+            expected = [
+                metric_delivery_rate(r)
+                for r in run_many(cell.cfg, runs=cell.runs)
+            ]
+            assert values == expected
+
+
+class TestSweepIntegration:
+    def test_sweep_metric_parallel_matches_serial(self):
+        kwargs = dict(
+            x_field="n_nodes",
+            x_values=[30, 40],
+            protocols=["ALERT", "GPSR"],
+            metric=metric_delivery_rate,
+            runs=2,
+        )
+        m1, c1 = sweep_metric(SMALL, workers=1, **kwargs)
+        m2, c2 = sweep_metric(SMALL, workers=4, **kwargs)
+        assert m1 == m2
+        assert c1 == c2
+
+    def test_sweep_metric_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        means, _ = sweep_metric(
+            SMALL,
+            "speed",
+            [2.0],
+            ["ALERT"],
+            metric_delivery_rate,
+            runs=1,
+        )
+        assert 0.0 <= means["ALERT"][0] <= 1.0
+
+
+class TestCellValidation:
+    def test_empty_cell_list(self):
+        assert parallel_map_cells([], workers=4) == []
+
+    def test_zero_runs_cell(self):
+        assert parallel_map_cells(
+            [Cell(SMALL, metric_delivery_rate, runs=0)], workers=4
+        ) == [[]]
+
+    def test_invalid_sweep_field_raises(self):
+        with pytest.raises(Exception):
+            sweep_metric(
+                SMALL,
+                "not_a_field",
+                [1],
+                ["ALERT"],
+                metric_delivery_rate,
+                runs=1,
+                workers=2,
+            )
