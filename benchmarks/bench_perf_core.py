@@ -5,9 +5,10 @@ figures), this harness measures *wall-clock* performance of the four
 layers every figure regeneration bottlenecks on:
 
 1. position snapshot build (vectorised mobility interpolation),
-2. spatial-index radius queries (neighbor discovery),
-3. a full hello round (snapshot + N queries + table updates),
-4. one end-to-end ALERT simulation,
+2. incremental snapshot refresh vs from-scratch index rebuild,
+3. spatial-index radius queries (neighbor discovery),
+4. a full hello round (snapshot + N queries + table updates),
+5. one end-to-end ALERT simulation,
 
 plus, optionally, a serial-vs-parallel sweep of one small figure.
 
@@ -85,6 +86,80 @@ def bench_snapshot_build(n_nodes: int, reps: int) -> dict[str, float]:
 
     out = _timeit(build, reps)
     out["n_nodes"] = n_nodes
+    return out
+
+
+def bench_snapshot_incremental(n_nodes: int, reps: int) -> dict[str, float]:
+    """Incremental snapshot refresh vs a forced from-scratch rebuild.
+
+    Two identically-seeded networks advance time in 0.25 s steps (at
+    2 m/s nodes move 0.5 m — almost nobody crosses a 250 m cell), one
+    refreshing via the incremental diff path, the other with its index
+    invalidated before every refresh.  Both produce result-identical
+    indices; the incremental path should win on wall-clock.
+    """
+    inc = _make_network(n_nodes)
+    full = _make_network(n_nodes)
+    for net in (inc, full):
+        net.engine._now = 50.0
+        net.snapshot()  # warm-up: trajectory extension is amortised
+        # Pre-extend trajectories past the benchmark window so leg
+        # materialisation cost doesn't land on either timed path.
+        net.engine._now = 50.0 + 0.25 * (reps + 1)
+        net.snapshot()
+        net.engine._now = 50.0
+        net._snapshot_index = None
+        net.snapshot()
+
+    def step_incremental() -> None:
+        inc.engine._now += 0.25
+        inc.snapshot()
+
+    def step_full_rebuild() -> None:
+        full.engine._now += 0.25
+        full._snapshot_index = None  # force the from-scratch path
+        full.snapshot()
+
+    out: dict[str, float] = {"n_nodes": n_nodes}
+    incremental = _timeit(step_incremental, reps)
+    rebuild = _timeit(step_full_rebuild, reps)
+    out["incremental_mean_s"] = incremental["mean_s"]
+    out["incremental_min_s"] = incremental["min_s"]
+    out["full_rebuild_mean_s"] = rebuild["mean_s"]
+    out["full_rebuild_min_s"] = rebuild["min_s"]
+    out["reps"] = reps
+    out["speedup"] = (
+        rebuild["mean_s"] / incremental["mean_s"]
+        if incremental["mean_s"] > 0
+        else float("nan")
+    )
+    out["incremental_refreshes"] = inc.snapshot_incremental
+
+    # Index-maintenance only (excluding the mobility interpolation both
+    # paths share): adopt_positions vs constructing a fresh GridIndex
+    # over the same two consecutive snapshot arrays.
+    pos_a = np.array(full.snapshot()[0])
+    full.engine._now += 0.25
+    full._snapshot_index = None
+    pos_b = np.array(full.snapshot()[0])
+    cell = full.radio.range_m
+    grid = GridIndex(pos_a.copy(), cell)
+    flip = [pos_b, pos_a]
+
+    def adopt_only() -> None:
+        grid.adopt_positions(flip[0].copy())
+        flip.reverse()
+
+    def build_only() -> None:
+        GridIndex(flip[0], cell)
+
+    out["index_adopt_mean_s"] = _timeit(adopt_only, reps)["mean_s"]
+    out["index_build_mean_s"] = _timeit(build_only, reps)["mean_s"]
+    out["index_only_speedup"] = (
+        out["index_build_mean_s"] / out["index_adopt_mean_s"]
+        if out["index_adopt_mean_s"] > 0
+        else float("nan")
+    )
     return out
 
 
@@ -170,6 +245,10 @@ def run_harness(quick: bool = False, sweep: bool = True) -> dict:
         },
         "timings": {
             "snapshot_build": bench_snapshot_build(n_nodes, reps),
+            # Acceptance target: incremental beats from-scratch at N=2000.
+            "snapshot_incremental": bench_snapshot_incremental(
+                2000, max(reps, 20)
+            ),
             "radius_query": bench_radius_query(n_nodes, reps),
             "hello_round": bench_hello_round(n_nodes, reps),
             "alert_run": bench_alert_run(10.0 if quick else 60.0),
@@ -214,6 +293,9 @@ def test_perf_harness_smoke(tmp_path):
     report = run_harness(quick=True, sweep=True)
     for key in ("snapshot_build", "radius_query", "hello_round", "alert_run"):
         assert report["timings"][key]["mean_s"] > 0.0
+    snap = report["timings"]["snapshot_incremental"]
+    assert snap["incremental_mean_s"] > 0.0
+    assert snap["incremental_refreshes"] > 0  # the diff path really ran
     assert report["timings"]["sweep"]["identical_results"]
     out = tmp_path / "BENCH_perf.json"
     out.write_text(json.dumps(report))

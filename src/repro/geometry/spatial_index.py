@@ -12,8 +12,13 @@ multiplicative hash of the pair, which let two distinct cells collide
 and silently merge — misplacing their nodes under the first cell's key
 and dropping true neighbors.  Sorting on the exact pair cannot collide.
 
-The index is immutable once built; mobility rebuilds it per time
-snapshot (see :class:`repro.net.network.Network`).
+The index is incrementally updatable: :meth:`GridIndex.move` and
+:meth:`GridIndex.update_positions` rebucket only nodes whose cell
+changed, so a snapshot refresh where most nodes stayed in their cell
+(the common case — at the paper's default 2 m/s almost nobody crosses
+a 250 m cell boundary between hello rounds) costs a vectorised diff
+instead of a full sort-and-bucket rebuild (see
+:meth:`repro.net.network.Network.snapshot`).
 """
 
 from __future__ import annotations
@@ -32,7 +37,11 @@ class GridIndex:
     Parameters
     ----------
     positions:
-        Array of shape ``(N, 2)`` of x/y coordinates in metres.
+        Array of shape ``(N, 2)`` of x/y coordinates in metres.  The
+        index takes ownership of this array when it is already
+        float64: in-place updates (:meth:`move`,
+        :meth:`update_positions`) write through to it.  Pass a copy if
+        the caller needs the original preserved.
     cell_size:
         Grid pitch; choose the dominant query radius for best
         performance (queries with other radii remain correct).
@@ -67,7 +76,6 @@ class GridIndex:
             stride = np.int64(cy_max - cy_min + 1)
             keys = (cells[:, 0] - cx_min) * stride + (cells[:, 1] - cy_min)
             order = np.argsort(keys, kind="stable")
-            self._order = order
             sorted_keys = keys[order]
             # Start offsets of each run of equal keys.
             boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
@@ -85,6 +93,169 @@ class GridIndex:
 
     def __len__(self) -> int:
         return self._n
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def adopt_positions(
+        self, new_positions: np.ndarray, max_crossed: int | None = None
+    ) -> int:
+        """Replace the whole coordinate array in one incremental step.
+
+        The fast path behind ``Network.snapshot``: one vectorised cell
+        computation + one comparison find the nodes that crossed a cell
+        boundary, and only those are rebucketted; the index then owns
+        ``new_positions`` (no per-row copying).  Returns the number of
+        cell-crossing nodes.
+
+        If ``max_crossed`` is given and more nodes than that crossed
+        cells, the index is left untouched and ``-1`` is returned — the
+        caller should build a fresh index instead, which is cheaper
+        than that much per-node rebucketing.
+        """
+        new_positions = np.asarray(new_positions, dtype=np.float64)
+        if new_positions.shape != (self._n, 2):
+            raise ValueError(
+                f"new_positions must be ({self._n}, 2), "
+                f"got {new_positions.shape}"
+            )
+        if self._n == 0:
+            return 0
+        cells = np.floor(new_positions / self.cell_size).astype(np.int64)
+        old_cells = self._cells
+        crossed = np.flatnonzero(
+            (cells[:, 0] != old_cells[:, 0]) | (cells[:, 1] != old_cells[:, 1])
+        )
+        if max_crossed is not None and crossed.size > max_crossed:
+            return -1
+        for raw in crossed:
+            i = int(raw)
+            self._remove_from_bucket(
+                (int(old_cells[i, 0]), int(old_cells[i, 1])), i
+            )
+            self._add_to_bucket((int(cells[i, 0]), int(cells[i, 1])), i)
+        self.positions = new_positions
+        self._cells = cells
+        if crossed.size:
+            moved = cells[crossed]
+            self._grow_bounds(
+                int(moved[:, 0].min()),
+                int(moved[:, 1].min()),
+                int(moved[:, 0].max()),
+                int(moved[:, 1].max()),
+            )
+        return int(crossed.size)
+
+    def _remove_from_bucket(self, key: tuple[int, int], i: int) -> None:
+        bucket = self._buckets[key]
+        if bucket.size == 1:
+            del self._buckets[key]
+        else:
+            self._buckets[key] = bucket[bucket != i]
+
+    def _add_to_bucket(self, key: tuple[int, int], i: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = np.array([i], dtype=np.int64)
+        else:
+            self._buckets[key] = np.append(bucket, np.int64(i))
+
+    def _grow_bounds(self, cx_lo: int, cy_lo: int, cx_hi: int, cy_hi: int) -> None:
+        # Bounds only ever grow: ``nearest`` uses them as an upper
+        # bound on the ring search, so a conservative (too large) box
+        # stays correct — shrinking exactly would cost a full scan.
+        self._cell_min = (
+            min(self._cell_min[0], cx_lo),
+            min(self._cell_min[1], cy_lo),
+        )
+        self._cell_max = (
+            max(self._cell_max[0], cx_hi),
+            max(self._cell_max[1], cy_hi),
+        )
+
+    def move(self, i: int, x: float, y: float) -> bool:
+        """Move node ``i`` to ``(x, y)``, rebucketing only if needed.
+
+        Returns ``True`` when the node changed grid cell (and was
+        rebucketted), ``False`` when it merely moved within its cell.
+        Query results afterwards are identical to a from-scratch
+        rebuild at the new positions.
+        """
+        if not 0 <= i < self._n:
+            raise IndexError(f"node id {i} out of range [0, {self._n})")
+        self.positions[i, 0] = x
+        self.positions[i, 1] = y
+        cs = self.cell_size
+        cx = int(np.floor(x / cs))
+        cy = int(np.floor(y / cs))
+        old = self._cells[i]
+        if cx == old[0] and cy == old[1]:
+            return False
+        self._remove_from_bucket((int(old[0]), int(old[1])), i)
+        self._add_to_bucket((cx, cy), i)
+        self._cells[i, 0] = cx
+        self._cells[i, 1] = cy
+        self._grow_bounds(cx, cy, cx, cy)
+        return True
+
+    def update_positions(
+        self, changed_ids: np.ndarray, new_positions: np.ndarray
+    ) -> int:
+        """Batch position update; rebuckets only cell-crossing nodes.
+
+        Parameters
+        ----------
+        changed_ids:
+            Unique node indices whose position changed (any node not
+            listed keeps its stored position).
+        new_positions:
+            ``(len(changed_ids), 2)`` array of their new coordinates.
+
+        Returns the number of nodes that changed cell.  The index is
+        afterwards result-identical to ``GridIndex(updated_positions,
+        cell_size)`` for every query method.
+        """
+        ids = np.asarray(changed_ids, dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        new_positions = np.asarray(new_positions, dtype=np.float64)
+        if new_positions.shape != (ids.size, 2):
+            raise ValueError(
+                f"new_positions must be ({ids.size}, 2), "
+                f"got {new_positions.shape}"
+            )
+        if ids.min() < 0 or ids.max() >= self._n:
+            raise IndexError(
+                f"node ids out of range [0, {self._n}): {ids}"
+            )
+        self.positions[ids] = new_positions
+        new_cells = np.floor(new_positions / self.cell_size).astype(np.int64)
+        old_cells = self._cells[ids]
+        crossed = (new_cells[:, 0] != old_cells[:, 0]) | (
+            new_cells[:, 1] != old_cells[:, 1]
+        )
+        n_crossed = int(np.count_nonzero(crossed))
+        if n_crossed == 0:
+            return 0
+        moved_ids = ids[crossed]
+        moved_old = old_cells[crossed]
+        moved_new = new_cells[crossed]
+        for k in range(n_crossed):
+            i = int(moved_ids[k])
+            self._remove_from_bucket(
+                (int(moved_old[k, 0]), int(moved_old[k, 1])), i
+            )
+            self._add_to_bucket(
+                (int(moved_new[k, 0]), int(moved_new[k, 1])), i
+            )
+        self._cells[ids] = new_cells
+        self._grow_bounds(
+            int(moved_new[:, 0].min()),
+            int(moved_new[:, 1].min()),
+            int(moved_new[:, 0].max()),
+            int(moved_new[:, 1].max()),
+        )
+        return n_crossed
 
     # ------------------------------------------------------------------
     def _gather_cells(

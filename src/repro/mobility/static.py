@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
 from repro.geometry.primitives import Point
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import MobilityModel, Segment
 
 
 class StaticPosition(MobilityModel):
@@ -31,6 +32,15 @@ class StaticPosition(MobilityModel):
 
     def speed(self) -> float:
         return 0.0
+
+    def current_segment(self, t: float) -> Segment:
+        """An eternal degenerate segment: cacheable for any ``t``.
+
+        Lets :class:`~repro.mobility.base.SnapshotInterpolator` cache a
+        static node once and never consult it again (interpolating a
+        zero-length, infinite-duration leg yields the origin exactly).
+        """
+        return Segment(0.0, math.inf, self._origin, self._origin)
 
     @classmethod
     def fill_positions(

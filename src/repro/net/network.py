@@ -23,7 +23,7 @@ from repro.crypto.keys import generate_keypair
 from repro.geometry.field import Field
 from repro.geometry.primitives import Point, Rect
 from repro.geometry.spatial_index import GridIndex
-from repro.mobility.base import MobilityModel, positions_at
+from repro.mobility.base import MobilityModel, SnapshotInterpolator
 from repro.net.mac import Mac80211Dcf, MacOutcome
 from repro.net.neighbor_table import NeighborEntry
 from repro.net.node import Node
@@ -100,17 +100,29 @@ class Network:
                 Node(i, mobility, keypair, node_rng, neighbor_ttl=ttl)
             )
 
-        # Position snapshot cache.
+        # Position snapshot cache.  ``_snapshot_positions`` is always
+        # the array the grid index was built over; ``_snapshot_scratch``
+        # is a second (N, 2) buffer the next refresh interpolates into,
+        # so old and new positions can be diffed without allocating.
         self._snapshot_time: float = -1.0
         self._snapshot_positions: np.ndarray | None = None
+        self._snapshot_scratch: np.ndarray | None = None
         self._snapshot_index: GridIndex | None = None
+        self._snapshot_force_rebuild = False
         self._mobilities = [node.mobility for node in self.nodes]
+        # Segment-cached batch interpolator: bit-identical to
+        # positions_at() but only consults models whose trajectory leg
+        # expired since the previous refresh.
+        self._interpolator = SnapshotInterpolator(self._mobilities)
+        #: snapshot maintenance counters (diagnostics / benchmarks)
+        self.snapshot_rebuilds = 0
+        self.snapshot_incremental = 0
 
         # Active-node mask, invalidated by node fail()/restore() hooks
         # so neighbor queries need not re-check every hit's flag.
         self._active_mask: np.ndarray | None = None
         for node in self.nodes:
-            node.on_state_change = self._invalidate_active_mask
+            node.on_state_change = self._on_node_state_change
 
         # In-flight transmissions for contention, kept as a min-heap on
         # end time: (end_time, x, y).  Expired entries pop off the
@@ -142,28 +154,75 @@ class Network:
         """Exact position of a node at the current simulation time."""
         return self.nodes[node_id].position(self.engine.now)
 
+    #: Incremental-update cutover: above this fraction of cell-crossing
+    #: nodes a from-scratch rebuild is cheaper than per-node rebucketing.
+    _REBUCKET_FRACTION = 0.3
+
     def snapshot(self) -> tuple[np.ndarray, GridIndex]:
         """Cached (positions, spatial index) at the current time.
 
-        Rebuilt when older than ``snapshot_resolution`` seconds.
+        Refreshed when the cache is ``snapshot_resolution`` seconds old
+        or older (so ``snapshot_resolution=0.0`` means "always fresh").
+        A refresh hands the newly interpolated positions to
+        :meth:`GridIndex.adopt_positions`, which rebuckets only nodes
+        that crossed a cell boundary, falling back to a from-scratch
+        rebuild when more than ``_REBUCKET_FRACTION`` of the nodes
+        crossed cells or a node changed state since the last refresh.
+        Both paths yield result-identical indices.
         """
         now = self.engine.now
+        index = self._snapshot_index
         if (
-            self._snapshot_index is None
-            or now - self._snapshot_time > self.snapshot_resolution
+            index is not None
+            and now - self._snapshot_time < self.snapshot_resolution
         ):
-            # Batch query: one vectorised interpolation over all nodes
-            # (node i's mobility fills row i) instead of N scalar calls.
-            pos = positions_at(self._mobilities, now)
-            self._snapshot_positions = pos
-            self._snapshot_index = GridIndex(pos, self.radio.range_m)
-            self._snapshot_time = now
-        assert self._snapshot_positions is not None
-        assert self._snapshot_index is not None
-        return self._snapshot_positions, self._snapshot_index
+            assert self._snapshot_positions is not None
+            return self._snapshot_positions, index
 
-    def _invalidate_active_mask(self, _node: Node) -> None:
+        # Batch query: one vectorised interpolation over all nodes
+        # (node i's mobility fills row i) into the spare buffer, so the
+        # cached array (still owned by the index) survives for diffing.
+        n = self.n_nodes
+        scratch = self._snapshot_scratch
+        if scratch is None or scratch.shape != (n, 2):
+            scratch = np.empty((n, 2), dtype=np.float64)
+        pos = self._interpolator(now, out=scratch)
+
+        old = self._snapshot_positions
+        if (
+            index is not None
+            and not self._snapshot_force_rebuild
+            and old is not None
+            and len(index) == n
+        ):
+            crossed = index.adopt_positions(
+                pos, max_crossed=int(self._REBUCKET_FRACTION * n)
+            )
+            if crossed >= 0:
+                # The index adopted ``pos``; the previous array becomes
+                # the next refresh's interpolation buffer.
+                self.snapshot_incremental += 1
+                self._snapshot_positions = pos
+                self._snapshot_scratch = old
+                self._snapshot_time = now
+                return pos, index
+
+        self._snapshot_index = GridIndex(pos, self.radio.range_m)
+        self.snapshot_rebuilds += 1
+        # The index took ownership of ``pos``; recycle the previous
+        # array (if any) as the next refresh's interpolation buffer.
+        self._snapshot_positions = pos
+        self._snapshot_scratch = old
+        self._snapshot_time = now
+        self._snapshot_force_rebuild = False
+        return pos, self._snapshot_index
+
+    def _on_node_state_change(self, _node: Node) -> None:
         self._active_mask = None
+        # Conservative: the next snapshot refresh rebuilds the index
+        # from scratch instead of diffing (the cache itself stays valid
+        # until it ages out, exactly as before).
+        self._snapshot_force_rebuild = True
 
     def active_mask(self) -> np.ndarray:
         """Boolean mask of live nodes, cached until a node flips state."""

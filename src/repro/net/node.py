@@ -61,8 +61,11 @@ class Node:
         self.pseudonyms = PseudonymManager(mac, rng, lifetime=pseudonym_lifetime)
         self.neighbors = NeighborTable(ttl=neighbor_ttl)
         self.on_receive: ReceiveHook | None = None
-        #: substrate hook fired on fail()/restore(); the owning Network
-        #: uses it to invalidate its cached active-node mask.
+        #: substrate hook fired when fail()/restore() actually flips the
+        #: node's state; the owning Network uses it to invalidate its
+        #: cached active-node mask and to force the next position
+        #: snapshot refresh to rebuild its spatial index from scratch
+        #: instead of diffing incrementally.
         self.on_state_change: Callable[["Node"], None] | None = None
         #: per-node energy proxy: frames transmitted / received
         self.tx_count = 0
@@ -73,12 +76,16 @@ class Node:
 
     def fail(self) -> None:
         """Disable the node (compromise / battery death)."""
+        if not self.active:
+            return  # already down: no state flip, no invalidation
         self.active = False
         if self.on_state_change is not None:
             self.on_state_change(self)
 
     def restore(self) -> None:
         """Bring the node back online."""
+        if self.active:
+            return  # already up: no state flip, no invalidation
         self.active = True
         if self.on_state_change is not None:
             self.on_state_change(self)

@@ -2,7 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# Example budgets for the randomized (property/differential-oracle)
+# suites.  The default stays CI-fast; the weekly cron workflow exports
+# HYPOTHESIS_PROFILE=weekly for a much deeper adversarial search.
+# Tests that pin max_examples in their own @settings are unaffected.
+hypothesis_settings.register_profile("default", deadline=None)
+hypothesis_settings.register_profile(
+    "weekly", deadline=None, max_examples=1000, print_blob=True
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import MetricsCollector

@@ -1,0 +1,225 @@
+"""Differential-testing oracles for spatial-index implementations.
+
+The repo's hottest data structure — :class:`repro.geometry.spatial_index.
+GridIndex` — is now mutated in place between snapshots, which makes a
+spot-check test style (a handful of hand-picked positions) too weak:
+an index can answer those correctly while carrying a corrupted bucket
+from three moves ago.  This module provides the stronger oracle:
+
+* :class:`NaiveIndex` — a brute-force implementation of the exact
+  ``GridIndex`` query contract (sorted results, half-open rects,
+  smallest-index tie-breaking, the same ``ValueError`` conditions) that
+  is obviously correct by inspection, and
+* :func:`assert_same_answers` / :func:`run_differential` — harness
+  helpers that drive any number of index implementations through the
+  same randomized move/query schedule and assert every answer agrees.
+
+Any future index variant (k-d tree, sorted-array sweep, GPU bucketing)
+can be dropped into the same harness unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.spatial_index import GridIndex
+
+
+class NaiveIndex:
+    """Brute-force reference with ``GridIndex``'s exact query contract.
+
+    Every query is a full O(N) scan over a private copy of the
+    positions, so there is no bucketing state to corrupt — which is
+    the point: it serves as the ground truth that incremental
+    ``GridIndex`` maintenance is differentially tested against.
+    """
+
+    def __init__(self, positions: np.ndarray, cell_size: float = 1.0) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must be (N, 2), got {positions.shape}")
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size!r}")
+        self.positions = positions.copy()
+        self.cell_size = float(cell_size)
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    # -- mutation (same signatures as GridIndex) -----------------------
+    def move(self, i: int, x: float, y: float) -> bool:
+        if not 0 <= i < len(self):
+            raise IndexError(f"node id {i} out of range [0, {len(self)})")
+        cs = self.cell_size
+        old_cell = np.floor(self.positions[i] / cs)
+        self.positions[i] = (x, y)
+        new_cell = np.floor(self.positions[i] / cs)
+        return bool(np.any(old_cell != new_cell))
+
+    def update_positions(
+        self, changed_ids: np.ndarray, new_positions: np.ndarray
+    ) -> int:
+        ids = np.asarray(changed_ids, dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        new_positions = np.asarray(new_positions, dtype=np.float64)
+        cs = self.cell_size
+        old_cells = np.floor(self.positions[ids] / cs)
+        self.positions[ids] = new_positions
+        new_cells = np.floor(new_positions / cs)
+        return int(np.count_nonzero(np.any(old_cells != new_cells, axis=1)))
+
+    def adopt_positions(
+        self, new_positions: np.ndarray, max_crossed: int | None = None
+    ) -> int:
+        new_positions = np.asarray(new_positions, dtype=np.float64)
+        if new_positions.shape != self.positions.shape:
+            raise ValueError(
+                f"new_positions must be {self.positions.shape}, "
+                f"got {new_positions.shape}"
+            )
+        cs = self.cell_size
+        crossed = int(
+            np.count_nonzero(
+                np.any(
+                    np.floor(self.positions / cs) != np.floor(new_positions / cs),
+                    axis=1,
+                )
+            )
+        )
+        if max_crossed is not None and crossed > max_crossed:
+            return -1
+        self.positions = new_positions.copy()
+        return crossed
+
+    # -- queries -------------------------------------------------------
+    def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
+        d = self.positions - np.array([x, y])
+        hits = np.flatnonzero((d * d).sum(axis=1) <= radius * radius)
+        return hits.astype(np.int64)  # flatnonzero is already ascending
+
+    def query_rect(self, x0: float, y0: float, x1: float, y1: float) -> np.ndarray:
+        if len(self) == 0 or x1 <= x0 or y1 <= y0:
+            return np.empty(0, dtype=np.int64)
+        p = self.positions
+        mask = (p[:, 0] >= x0) & (p[:, 0] < x1) & (p[:, 1] >= y0) & (p[:, 1] < y1)
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def nearest(self, x: float, y: float, exclude: int | None = None) -> int:
+        if len(self) == 0:
+            raise ValueError("nearest() on an empty index")
+        d = self.positions - np.array([x, y])
+        dist2 = (d * d).sum(axis=1)
+        if exclude is not None and 0 <= exclude < len(self):
+            dist2 = dist2.copy()
+            dist2[exclude] = np.inf
+        if not np.isfinite(dist2).any():
+            raise ValueError("nearest() on an empty index")
+        return int(np.argmin(dist2))  # argmin ties break to smallest index
+
+
+def fresh_gridindex(index) -> GridIndex:
+    """A from-scratch ``GridIndex`` over an index's current positions."""
+    return GridIndex(index.positions.copy(), index.cell_size)
+
+
+def assert_same_answers(
+    indices: Sequence, query: str, *args, context: str = ""
+) -> None:
+    """Assert every index answers one query identically.
+
+    ``nearest`` may legitimately raise ``ValueError`` (empty / only the
+    excluded node); in that case every implementation must raise it.
+    """
+    results = []
+    for idx in indices:
+        try:
+            out = getattr(idx, query)(*args)
+        except ValueError:
+            out = ValueError
+        results.append(out)
+    baseline = results[0]
+    for idx, got in zip(indices[1:], results[1:]):
+        if baseline is ValueError or got is ValueError:
+            assert baseline is got, (
+                f"{query}{args}: {type(indices[0]).__name__} vs "
+                f"{type(idx).__name__} disagree on raising {context}"
+            )
+        elif query == "nearest":
+            assert got == baseline, (
+                f"{query}{args}: {got} != {baseline} {context}"
+            )
+        else:
+            assert np.array_equal(got, baseline), (
+                f"{query}{args}: {got} != {baseline} {context}"
+            )
+
+
+def run_differential(
+    positions: np.ndarray,
+    cell_size: float,
+    steps: int,
+    rng: np.random.Generator,
+    coord_range: tuple[float, float] = (-200.0, 1200.0),
+    batch_fraction: float = 0.3,
+) -> tuple[GridIndex, NaiveIndex]:
+    """Drive incremental ``GridIndex`` vs ``NaiveIndex`` through a
+    randomized interleaving of moves, batch updates, and queries.
+
+    Every mutation is applied to both implementations; every query —
+    plus, on a sampled subset of steps, a query against a third
+    from-scratch ``GridIndex`` rebuilt at the current positions — must
+    agree across all of them.  Returns the two long-lived indices so
+    callers can run extra end-state assertions.
+    """
+    grid = GridIndex(np.asarray(positions, dtype=np.float64).copy(), cell_size)
+    naive = NaiveIndex(positions, cell_size)
+    n = len(naive)
+    lo, hi = coord_range
+    for step in range(steps):
+        ctx = f"(step {step})"
+        op = rng.integers(0, 6)
+        if op == 0 and n:  # single move
+            i = int(rng.integers(0, n))
+            x, y = rng.uniform(lo, hi, size=2)
+            assert grid.move(i, x, y) == naive.move(i, x, y), ctx
+        elif op == 1 and n:  # batch update
+            k = int(rng.integers(1, max(2, int(n * batch_fraction)) + 1))
+            ids = rng.choice(n, size=min(k, n), replace=False)
+            new_pos = rng.uniform(lo, hi, size=(ids.size, 2))
+            assert grid.update_positions(ids, new_pos) == (
+                naive.update_positions(ids, new_pos)
+            ), ctx
+        elif op == 2:
+            x, y = rng.uniform(lo - 100, hi + 100, size=2)
+            r = float(rng.uniform(0.0, (hi - lo) / 2))
+            assert_same_answers(
+                [naive, grid], "query_radius", x, y, r, context=ctx
+            )
+        elif op == 3:
+            x0, y0 = rng.uniform(lo - 100, hi, size=2)
+            w, h = rng.uniform(0, (hi - lo) / 2, size=2)
+            assert_same_answers(
+                [naive, grid], "query_rect", x0, y0, x0 + w, y0 + h,
+                context=ctx,
+            )
+        elif op == 4:
+            x, y = rng.uniform(lo - 100, hi + 100, size=2)
+            exclude = int(rng.integers(0, n)) if n and rng.random() < 0.5 else None
+            assert_same_answers(
+                [naive, grid], "nearest", x, y, exclude, context=ctx
+            )
+        else:
+            # Full cross-check: incremental vs from-scratch rebuild vs
+            # brute force, all three on one radius + rect + nearest.
+            trio = [naive, grid, fresh_gridindex(naive)]
+            x, y = rng.uniform(lo, hi, size=2)
+            r = float(rng.uniform(0.0, (hi - lo) / 3))
+            assert_same_answers(trio, "query_radius", x, y, r, context=ctx)
+            assert_same_answers(
+                trio, "query_rect", x - r, y - r, x + r, y + r, context=ctx
+            )
+            assert_same_answers(trio, "nearest", x, y, None, context=ctx)
+    return grid, naive

@@ -95,6 +95,32 @@ class TestRunner:
         assert a.mean_hops == b.mean_hops
         assert a.delivery_rate == b.delivery_rate
 
+    def test_alert_end_to_end_determinism_same_seed(self):
+        # Guards the RNG plumbing the incremental snapshot path reuses:
+        # two full ALERT runs with one ExperimentConfig seed must agree
+        # on every §5.2 metric, and the incremental index-maintenance
+        # path must actually have run (not just full rebuilds).
+        cfg = ExperimentConfig(
+            protocol="ALERT", n_nodes=50, duration=20, n_pairs=3,
+            field_size=800.0, seed=4242,
+        )
+        a = run_experiment(cfg)
+        b = run_experiment(cfg)
+        assert a.delivery_rate == b.delivery_rate
+        assert a.mean_latency == b.mean_latency or (
+            math.isnan(a.mean_latency) and math.isnan(b.mean_latency)
+        )
+        assert a.mean_hops == b.mean_hops
+        assert a.mean_rf_count == b.mean_rf_count or (
+            math.isnan(a.mean_rf_count) and math.isnan(b.mean_rf_count)
+        )
+        assert a.participating_nodes == b.participating_nodes
+        assert a.network.snapshot_incremental > 0
+        assert (
+            a.network.snapshot_incremental == b.network.snapshot_incremental
+        )
+        assert a.network.snapshot_rebuilds == b.network.snapshot_rebuilds
+
     def test_seed_changes_results(self):
         cfg = ExperimentConfig(
             protocol="GPSR", n_nodes=40, duration=10, n_pairs=2,

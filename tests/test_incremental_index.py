@@ -1,0 +1,247 @@
+"""Differential tests: incremental GridIndex vs rebuild vs NaiveIndex.
+
+The incremental maintenance API (``move`` / ``update_positions``) must
+leave the index *result-identical* to a from-scratch ``GridIndex`` at
+the same positions and to the brute-force ``NaiveIndex`` oracle, for
+every query method, after arbitrarily long interleaved move/query
+schedules — including boundary-straddling moves, out-of-field
+coordinates, and duplicate positions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.spatial_index import GridIndex
+
+from tests.oracles import (
+    NaiveIndex,
+    assert_same_answers,
+    fresh_gridindex,
+    run_differential,
+)
+
+#: Example-budget multiplier for the randomized differential suites.
+#: CI's weekly cron exports REPRO_ORACLE_BUDGET=20 for a deep run;
+#: the default keeps the tier-1 suite fast.
+_BUDGET = max(1, int(os.environ.get("REPRO_ORACLE_BUDGET", "1")))
+
+
+def _agree_everywhere(grid: GridIndex, naive: NaiveIndex, rng, probes=20):
+    """End-state sweep: all three implementations on random queries."""
+    trio = [naive, grid, fresh_gridindex(naive)]
+    for _ in range(probes):
+        x, y = rng.uniform(-300, 1300, size=2)
+        r = float(rng.uniform(0, 500))
+        assert_same_answers(trio, "query_radius", x, y, r)
+        assert_same_answers(trio, "query_rect", x - r, y - r, x + r, y + r)
+        assert_same_answers(trio, "nearest", x, y, None)
+
+
+class TestMove:
+    def test_move_within_cell_does_not_rebucket(self):
+        pos = np.array([[10.0, 10.0], [300.0, 300.0]])
+        idx = GridIndex(pos.copy(), 250.0)
+        assert idx.move(0, 40.0, 40.0) is False
+        assert idx.query_radius(40.0, 40.0, 1.0).tolist() == [0]
+        # The old coordinate no longer matches.
+        assert idx.query_radius(10.0, 10.0, 1.0).size == 0
+
+    def test_move_across_cell_rebuckets(self):
+        pos = np.array([[10.0, 10.0], [300.0, 300.0]])
+        idx = GridIndex(pos.copy(), 250.0)
+        assert idx.move(0, 600.0, 600.0) is True
+        assert idx.nearest(610.0, 610.0) == 0
+        assert idx.query_rect(0.0, 0.0, 250.0, 250.0).size == 0
+
+    def test_move_onto_duplicate_position(self):
+        pos = np.array([[10.0, 10.0], [300.0, 300.0], [500.0, 500.0]])
+        idx = GridIndex(pos.copy(), 250.0)
+        idx.move(0, 300.0, 300.0)  # exact duplicate of node 1
+        hits = idx.query_radius(300.0, 300.0, 0.0)
+        assert hits.tolist() == [0, 1]
+        # Ties break to the smallest index, like a full argmin.
+        assert idx.nearest(300.0, 300.0) == 0
+
+    def test_move_out_of_field_negative_cells(self):
+        pos = np.array([[10.0, 10.0], [300.0, 300.0]])
+        idx = GridIndex(pos.copy(), 250.0)
+        idx.move(0, -900.0, -1.0)  # far outside the original bounds
+        assert idx.nearest(-900.0, 0.0) == 0
+        assert idx.query_radius(-900.0, -1.0, 5.0).tolist() == [0]
+        # nearest from the far side must still expand rings that reach
+        # the grown bounding box.
+        assert idx.nearest(300.0, 300.0, exclude=1) == 0
+
+    def test_move_boundary_straddle_exact_edge(self):
+        # x = cell_size sits exactly on the boundary: floor(250/250)=1,
+        # so the node belongs to cell 1 and a move from 249.999 to
+        # 250.0 must rebucket.
+        idx = GridIndex(np.array([[249.999, 0.0]]), 250.0)
+        assert idx.move(0, 250.0, 0.0) is True
+        assert idx.query_rect(250.0, 0.0, 500.0, 250.0).tolist() == [0]
+        assert idx.move(0, 249.999, 0.0) is True
+
+    def test_move_out_of_range_raises(self):
+        idx = GridIndex(np.zeros((3, 2)), 10.0)
+        with pytest.raises(IndexError):
+            idx.move(3, 0.0, 0.0)
+        with pytest.raises(IndexError):
+            idx.move(-1, 0.0, 0.0)
+
+    def test_move_empties_and_recreates_buckets(self):
+        # Single node ping-ponging between two cells: its old bucket
+        # must disappear (not linger empty) and reappear on return.
+        idx = GridIndex(np.array([[10.0, 10.0]]), 100.0)
+        for _ in range(5):
+            idx.move(0, 910.0, 910.0)
+            assert idx.query_radius(10.0, 10.0, 50.0).size == 0
+            assert idx.query_radius(910.0, 910.0, 50.0).tolist() == [0]
+            idx.move(0, 10.0, 10.0)
+            assert idx.query_radius(910.0, 910.0, 50.0).size == 0
+            assert idx.query_radius(10.0, 10.0, 50.0).tolist() == [0]
+
+
+class TestUpdatePositions:
+    def test_batch_matches_scalar_moves(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 1000, size=(50, 2))
+        batch = GridIndex(pos.copy(), 100.0)
+        scalar = GridIndex(pos.copy(), 100.0)
+        ids = np.array([3, 17, 30, 49])
+        new_pos = rng.uniform(-200, 1200, size=(4, 2))
+        crossed = batch.update_positions(ids, new_pos)
+        scalar_crossed = sum(
+            scalar.move(int(i), *new_pos[k]) for k, i in enumerate(ids)
+        )
+        assert crossed == scalar_crossed
+        np.testing.assert_array_equal(batch.positions, scalar.positions)
+        _agree_everywhere(batch, NaiveIndex(batch.positions, 100.0), rng)
+
+    def test_empty_update_is_noop(self):
+        pos = np.random.default_rng(2).uniform(0, 500, size=(20, 2))
+        idx = GridIndex(pos.copy(), 100.0)
+        assert idx.update_positions(np.empty(0, dtype=np.int64), np.empty((0, 2))) == 0
+        np.testing.assert_array_equal(idx.positions, pos)
+
+    def test_shape_mismatch_raises(self):
+        idx = GridIndex(np.zeros((5, 2)), 10.0)
+        with pytest.raises(ValueError):
+            idx.update_positions(np.array([0, 1]), np.zeros((3, 2)))
+
+    def test_out_of_range_ids_raise(self):
+        idx = GridIndex(np.zeros((5, 2)), 10.0)
+        with pytest.raises(IndexError):
+            idx.update_positions(np.array([0, 5]), np.zeros((2, 2)))
+
+    def test_all_nodes_to_same_cell(self):
+        # Adversarial pile-up: every node lands on one duplicate point.
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 1000, size=(40, 2))
+        idx = GridIndex(pos.copy(), 250.0)
+        ids = np.arange(40)
+        idx.update_positions(ids, np.full((40, 2), 123.456))
+        assert idx.query_radius(123.456, 123.456, 0.0).tolist() == list(range(40))
+        assert idx.nearest(0.0, 0.0) == 0
+        _agree_everywhere(idx, NaiveIndex(idx.positions, 250.0), rng)
+
+
+class TestAdoptPositions:
+    """Whole-array adoption (the ``Network.snapshot`` fast path)."""
+
+    def test_adopt_matches_naive_and_rebuild(self):
+        rng = np.random.default_rng(11)
+        pos = rng.uniform(0, 1000, size=(80, 2))
+        grid = GridIndex(pos.copy(), 130.0)
+        naive = NaiveIndex(pos, 130.0)
+        for step in range(40):
+            # Small perturbations: most nodes stay in their cell.
+            new_pos = grid.positions + rng.normal(0, 15.0, size=(80, 2))
+            assert grid.adopt_positions(new_pos.copy()) == (
+                naive.adopt_positions(new_pos)
+            ), f"step {step}"
+            if step % 8 == 0:
+                _agree_everywhere(grid, naive, rng, probes=4)
+        _agree_everywhere(grid, naive, rng)
+
+    def test_adopt_over_threshold_leaves_index_untouched(self):
+        rng = np.random.default_rng(12)
+        pos = rng.uniform(0, 1000, size=(50, 2))
+        grid = GridIndex(pos.copy(), 100.0)
+        scattered = rng.uniform(2000, 3000, size=(50, 2))
+        assert grid.adopt_positions(scattered, max_crossed=5) == -1
+        np.testing.assert_array_equal(grid.positions, pos)
+        _agree_everywhere(grid, NaiveIndex(pos, 100.0), rng, probes=5)
+
+    def test_adopt_shape_mismatch_raises(self):
+        grid = GridIndex(np.zeros((4, 2)), 10.0)
+        with pytest.raises(ValueError):
+            grid.adopt_positions(np.zeros((5, 2)))
+
+    def test_adopt_takes_ownership(self):
+        grid = GridIndex(np.array([[1.0, 1.0], [2.0, 2.0]]), 10.0)
+        buf = np.array([[3.0, 3.0], [4.0, 4.0]])
+        grid.adopt_positions(buf)
+        assert grid.positions is buf
+
+
+class TestRandomizedDifferential:
+    def test_long_interleaved_schedule(self):
+        """Acceptance: ≥1000 interleaved move/query steps, all three
+        implementations result-identical throughout."""
+        rng = np.random.default_rng(2024)
+        pos = rng.uniform(0, 1000, size=(120, 2))
+        grid, naive = run_differential(pos, 137.0, steps=1200, rng=rng)
+        _agree_everywhere(grid, naive, rng)
+
+    def test_boundary_straddling_trajectories(self):
+        # Nodes jitter around exact cell boundaries (multiples of the
+        # cell size), the worst case for floor()-based rebucketing.
+        rng = np.random.default_rng(7)
+        cs = 50.0
+        base = rng.integers(-3, 4, size=(60, 2)).astype(np.float64) * cs
+        pos = base + rng.choice([-1e-9, 0.0, 1e-9], size=(60, 2))
+        grid = GridIndex(pos.copy(), cs)
+        naive = NaiveIndex(pos, cs)
+        for step in range(400):
+            i = int(rng.integers(0, 60))
+            x, y = (
+                rng.integers(-3, 4, size=2).astype(np.float64) * cs
+                + rng.choice([-1e-9, 0.0, 1e-9], size=2)
+            )
+            assert grid.move(i, x, y) == naive.move(i, x, y), f"step {step}"
+            if step % 20 == 0:
+                _agree_everywhere(grid, naive, rng, probes=3)
+        _agree_everywhere(grid, naive, rng)
+
+    @settings(max_examples=25 * _BUDGET, deadline=None)
+    @given(
+        st.integers(1, 60),
+        st.floats(5.0, 300.0),
+        st.integers(0, 10_000),
+    )
+    def test_differential_property(self, n, cell_size, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(-500, 1000, size=(n, 2))
+        grid, naive = run_differential(
+            pos, cell_size, steps=60, rng=rng,
+            coord_range=(-700.0, 1200.0),
+        )
+        _agree_everywhere(grid, naive, rng, probes=5)
+
+    @settings(max_examples=15 * _BUDGET, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_differential_large_population_bucket_paths(self, seed):
+        # Above _SMALL_N the bucketed rect/ring-nearest paths run; the
+        # incremental index must stay identical there too.
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 2000, size=(600, 2))
+        grid, naive = run_differential(
+            pos, 100.0, steps=40, rng=rng, coord_range=(-200.0, 2200.0),
+            batch_fraction=0.1,
+        )
+        _agree_everywhere(grid, naive, rng, probes=5)

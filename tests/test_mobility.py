@@ -283,3 +283,77 @@ class TestInterpolateSegments:
         from repro.mobility.base import interpolate_segments
 
         assert interpolate_segments([], 0.0).shape == (0, 2)
+
+
+class TestSnapshotInterpolator:
+    """SnapshotInterpolator must be bit-identical to positions_at."""
+
+    @staticmethod
+    def _rwp_population(n, seed):
+        fld = Field(1000, 1000)
+        return [
+            RandomWaypoint(fld, np.random.default_rng(seed + i))
+            for i in range(n)
+        ]
+
+    def test_rwp_cached_matches_positions_at(self):
+        from repro.mobility.base import SnapshotInterpolator, positions_at
+
+        plain_pop = self._rwp_population(25, 300)
+        cached_pop = self._rwp_population(25, 300)
+        interp = SnapshotInterpolator(cached_pop)
+        # Near-monotone with one backward jump (cache-hit, cache-miss
+        # and bisect-refresh paths all exercised).
+        for t in (0.0, 0.2, 0.4, 55.0, 55.2, 54.9, 700.0):
+            expected = positions_at(plain_pop, t)
+            got = interp(t)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_static_population_cached(self):
+        from repro.mobility.base import SnapshotInterpolator
+
+        pts = [Point(float(i), float(2 * i)) for i in range(10)]
+        interp = SnapshotInterpolator([StaticPosition(p) for p in pts])
+        expected = np.array([[p.x, p.y] for p in pts])
+        for t in (0.0, 1.5, 1e6):
+            np.testing.assert_array_equal(interp(t), expected)
+
+    def test_group_population_delegates(self):
+        from repro.mobility.base import SnapshotInterpolator, positions_at
+
+        fld = Field(1000, 1000)
+        plain_pop = make_group_mobility(
+            fld, 18, 4, 150.0, np.random.default_rng(77)
+        )
+        cached_pop = make_group_mobility(
+            fld, 18, 4, 150.0, np.random.default_rng(77)
+        )
+        interp = SnapshotInterpolator(cached_pop)
+        assert interp._delegate  # composite RPGM members have no segment
+        for t in (0.0, 5.0, 90.0, 30.0, 400.0):
+            np.testing.assert_array_equal(
+                interp(t), positions_at(plain_pop, t)
+            )
+
+    def test_out_buffer_reuse_and_validation(self):
+        from repro.mobility.base import SnapshotInterpolator
+
+        pop = self._rwp_population(6, 11)
+        interp = SnapshotInterpolator(pop)
+        buf = np.empty((6, 2), dtype=np.float64)
+        assert interp(3.0, out=buf) is buf
+        with pytest.raises(ValueError):
+            interp(3.0, out=np.empty((5, 2)))
+        with pytest.raises(ValueError):
+            interp(3.0, out=np.empty((6, 2), dtype=np.float32))
+
+    def test_matches_scalar_position_path(self):
+        pop_a = self._rwp_population(12, 42)
+        pop_b = self._rwp_population(12, 42)
+        from repro.mobility.base import SnapshotInterpolator
+
+        interp = SnapshotInterpolator(pop_a)
+        for t in (0.0, 1.0, 2.0, 300.0):
+            got = interp(t)
+            expected = np.array([[*m.position(t)] for m in pop_b])
+            np.testing.assert_array_equal(got, expected)

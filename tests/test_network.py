@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.mobility.base import positions_at
 from repro.net.packet import Packet, PacketKind
 from tests.conftest import build_network
 
@@ -24,11 +26,25 @@ class TestSnapshots:
         assert a is b
 
     def test_snapshot_refreshes_after_resolution(self, small_network):
-        _, a = small_network.snapshot()
+        small_network.snapshot()
+        refreshes = (
+            small_network.snapshot_rebuilds
+            + small_network.snapshot_incremental
+        )
         small_network.engine.schedule_in(1.0, lambda: None)
         small_network.engine.run()
-        _, b = small_network.snapshot()
-        assert a is not b
+        pos, _ = small_network.snapshot()
+        # The cache aged out: a new refresh happened (incremental
+        # maintenance may reuse the same index object) and the
+        # positions reflect the new time.
+        assert (
+            small_network.snapshot_rebuilds
+            + small_network.snapshot_incremental
+        ) == refreshes + 1
+        np.testing.assert_array_equal(
+            pos,
+            positions_at(small_network._mobilities, small_network.engine.now),
+        )
 
     def test_neighbors_symmetric(self, static_network):
         net = static_network

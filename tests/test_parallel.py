@@ -23,6 +23,18 @@ SMALL = ExperimentConfig(
 )
 
 
+def _exploding_metric(result):
+    """Module-level (hence picklable) metric that dies in the worker."""
+    raise RuntimeError("metric exploded in worker")
+
+
+def _conditionally_exploding_metric(result):
+    """Fails only for one seed, so some siblings succeed first."""
+    if result.config.seed == seed_for_run(SMALL, 1):
+        raise RuntimeError("metric exploded for seed 1")
+    return result.delivery_rate
+
+
 class TestWorkerCount:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
@@ -116,6 +128,28 @@ class TestSweepIntegration:
             runs=1,
         )
         assert 0.0 <= means["ALERT"][0] <= 1.0
+
+
+class TestWorkerCrash:
+    """A metric raising inside a child process must surface the
+    original exception to the caller instead of hanging the pool."""
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="metric exploded in worker"):
+            run_many_parallel(SMALL, _exploding_metric, runs=2, workers=2)
+
+    def test_partial_failure_still_propagates(self):
+        # One bad seed among good ones: siblings finish, the failure
+        # still surfaces with its original type and message.
+        with pytest.raises(RuntimeError, match="exploded for seed 1"):
+            run_many_parallel(
+                SMALL, _conditionally_exploding_metric, runs=3, workers=2
+            )
+
+    def test_serial_path_raises_identically(self):
+        # workers=1 (the fallback path) must not swallow it either.
+        with pytest.raises(RuntimeError, match="metric exploded in worker"):
+            run_many_parallel(SMALL, _exploding_metric, runs=1, workers=1)
 
 
 class TestCellValidation:

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.geometry.spatial_index import GridIndex
+from repro.geometry.spatial_index import _SMALL_N, GridIndex
 
 
 def brute_radius(positions, x, y, r):
@@ -247,6 +247,66 @@ class TestPropertyVsBruteForce:
         for x, y in [(25.0, 25.0), (5025.0, 5025.0), (2500.0, 2500.0)]:
             assert idx.nearest(x, y) == brute_nearest(pos, x, y)
 
+class TestNearestCrossover:
+    """``nearest`` exclude-handling on both sides of the ``_SMALL_N``
+    cutover: N == _SMALL_N runs the vectorised full argmin, N ==
+    _SMALL_N + 1 the expanding-ring bucket search.  Identical point
+    sets (plus one far-away extra) must give identical answers."""
+
+    @staticmethod
+    def _point_sets(seed):
+        rng = np.random.default_rng(seed)
+        small = rng.uniform(0, 2000, size=(_SMALL_N, 2))
+        # The extra node sits far outside every query so it never wins:
+        # both indices answer from the shared _SMALL_N points.
+        large = np.vstack([small, [[50_000.0, 50_000.0]]])
+        return rng, small, large
+
+    def test_both_paths_agree_with_exclude(self):
+        rng, small, large = self._point_sets(31)
+        scan = GridIndex(small, 100.0)
+        ring = GridIndex(large, 100.0)
+        for _ in range(50):
+            x, y = rng.uniform(-100, 2100, size=2)
+            exclude = int(rng.integers(0, _SMALL_N))
+            want = brute_nearest(small, x, y, exclude=exclude)
+            assert scan.nearest(x, y, exclude=exclude) == want
+            assert ring.nearest(x, y, exclude=exclude) == want
+
+    def test_excluding_the_unique_nearest_on_both_paths(self):
+        rng, small, large = self._point_sets(32)
+        scan = GridIndex(small, 100.0)
+        ring = GridIndex(large, 100.0)
+        for _ in range(25):
+            x, y = rng.uniform(0, 2000, size=2)
+            first = brute_nearest(small, x, y)
+            want = brute_nearest(small, x, y, exclude=first)
+            assert scan.nearest(x, y, exclude=first) == want
+            assert ring.nearest(x, y, exclude=first) == want
+
+    def test_duplicate_positions_tie_break_both_paths(self):
+        rng, small, large = self._point_sets(33)
+        # Make nodes 7 and 11 exact duplicates in both sets.
+        for pos in (small, large):
+            pos[11] = pos[7]
+        scan = GridIndex(small.copy(), 100.0)
+        ring = GridIndex(large.copy(), 100.0)
+        x, y = small[7]
+        assert scan.nearest(x, y) == ring.nearest(x, y) == 7
+        assert scan.nearest(x, y, exclude=7) == 11
+        assert ring.nearest(x, y, exclude=7) == 11
+
+    def test_out_of_range_exclude_ignored_on_both_paths(self):
+        _, small, large = self._point_sets(34)
+        scan = GridIndex(small, 100.0)
+        ring = GridIndex(large, 100.0)
+        for exclude in (-1, _SMALL_N + 5, 10_000):
+            want = brute_nearest(small, 500.0, 500.0)
+            assert scan.nearest(500.0, 500.0, exclude=exclude) == want
+            assert ring.nearest(500.0, 500.0, exclude=exclude) == want
+
+
+class TestAdversarialCollidingCells:
     @settings(max_examples=25, deadline=None)
     @given(st.integers(0, 10_000), st.floats(1.0, 50.0))
     def test_adversarial_colliding_cells_radius(self, seed, cell_size):
