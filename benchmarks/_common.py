@@ -17,6 +17,7 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
 from repro.experiments.config import ExperimentConfig
@@ -39,6 +40,34 @@ def paper_config(**overrides) -> ExperimentConfig:
     base = dict(duration=bench_duration())
     base.update(overrides)
     return ExperimentConfig(**base)
+
+
+def sweep_progress(label: str, total: int):
+    """Streaming ``on_result`` callback for a sweep of ``total`` seeds.
+
+    The executor streams each completed ``(cell, seed)`` result as it
+    arrives (shared-memory transport, see
+    :mod:`repro.experiments.parallel`); this prints a coarse progress
+    line at every ~10 % milestone so long figure regenerations are
+    visibly alive instead of silent for minutes.
+    """
+    done = 0
+    next_mark = max(1, total // 10)
+
+    def on_result(cell_idx: int, seed_idx: int, value) -> None:
+        nonlocal done, next_mark
+        done += 1
+        if done >= next_mark or done == total:
+            print(
+                f"[{label}] {done}/{total} seeds done "
+                f"(last: cell {cell_idx} seed {seed_idx})",
+                file=sys.stderr,
+                flush=True,
+            )
+            while next_mark <= done:
+                next_mark += max(1, total // 10)
+
+    return on_result
 
 
 def emit(capsys, name: str, text: str) -> None:

@@ -17,7 +17,7 @@ from repro.experiments.runner import aggregate
 from repro.experiments.sweeps import metric_mean_latency, sweep_metric
 from repro.experiments.tables import format_series_table
 
-from _common import bench_runs, emit, once, paper_config
+from _common import bench_runs, emit, once, paper_config, sweep_progress
 
 SIZES = [50, 100, 150, 200]
 SPEEDS = [2.0, 4.0, 6.0, 8.0]
@@ -32,6 +32,9 @@ def regen_fig14a():
         PROTOCOLS,
         metric_mean_latency,
         runs=bench_runs(),
+        on_result=sweep_progress(
+            "fig14a", len(SIZES) * len(PROTOCOLS) * bench_runs()
+        ),
     )
     return means, format_series_table(
         "Fig. 14a — latency per packet (s) vs number of nodes",

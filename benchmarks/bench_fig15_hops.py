@@ -17,7 +17,7 @@ from repro.experiments.runner import aggregate, run_many
 from repro.experiments.sweeps import metric_mean_hops, sweep_metric
 from repro.experiments.tables import format_series_table
 
-from _common import bench_runs, emit, once, paper_config
+from _common import bench_runs, emit, once, paper_config, sweep_progress
 
 SIZES = [50, 100, 150, 200]
 SPEEDS = [2.0, 4.0, 6.0, 8.0]
@@ -31,6 +31,7 @@ def regen_fig15a():
         ["ALERT", "GPSR", "AO2P"],
         metric_mean_hops,
         runs=bench_runs(),
+        on_result=sweep_progress("fig15a", len(SIZES) * 3 * bench_runs()),
     )
     # ALARM twice: plain data hops and with dissemination included.
     alarm_plain, alarm_full = [], []

@@ -16,7 +16,7 @@ from repro.experiments.runner import aggregate
 from repro.experiments.sweeps import metric_delivery_rate, sweep_metric
 from repro.experiments.tables import format_series_table
 
-from _common import bench_runs, emit, once, paper_config
+from _common import bench_runs, emit, once, paper_config, sweep_progress
 
 SIZES = [50, 100, 150, 200]
 SPEEDS = [2.0, 4.0, 6.0, 8.0]
@@ -31,6 +31,9 @@ def regen_fig16a():
         PROTOCOLS,
         metric_delivery_rate,
         runs=bench_runs(),
+        on_result=sweep_progress(
+            "fig16a", len(SIZES) * len(PROTOCOLS) * bench_runs()
+        ),
     )
     return means, format_series_table(
         "Fig. 16a — delivery rate vs number of nodes (with destination update)",

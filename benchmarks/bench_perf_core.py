@@ -9,6 +9,8 @@ layers every figure regeneration bottlenecks on:
 3. spatial-index radius queries (neighbor discovery),
 4. a full hello round (snapshot + N queries + table updates),
 5. one end-to-end ALERT simulation,
+6. sweep result-transport IPC: the legacy pickle-everything path vs
+   the executor's shared-memory float64 result buffer,
 
 plus, optionally, a serial-vs-parallel sweep of one small figure.
 
@@ -28,14 +30,23 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import platform
 import time
+from multiprocessing import shared_memory
 from pathlib import Path
 
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import Cell, parallel_map_cells, worker_count
+from repro.experiments.parallel import (
+    Cell,
+    SweepExecutor,
+    _picklable,
+    _representative_payloads,
+    parallel_map_cells,
+    worker_count,
+)
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweeps import metric_delivery_rate
 from repro.geometry.field import Field
@@ -229,6 +240,98 @@ def bench_sweep(workers: int, duration: float, runs: int) -> dict[str, float]:
     }
 
 
+def bench_sweep_ipc(
+    n_cells: int, runs_per_cell: int, reps: int
+) -> dict[str, float]:
+    """Sweep result-transport (IPC) cost: pickle path vs shared memory.
+
+    A sweep's IPC has two parts the executor controls: the pre-flight
+    picklability probe and returning each ``(cell, seed)`` metric value
+    to the parent.  The legacy path pickled the *entire* payload list
+    just to probe it and pickled every result back across the process
+    boundary; the shared-memory path probes one representative payload
+    per metric and has workers write each scalar into a float64 slot
+    the parent reads directly.  End-to-end sweep wall-clock is
+    dominated by the simulations themselves, so this times the two
+    transports in isolation over the value matrix of an ``n_cells``-cell
+    sweep.  A small *real* sweep additionally checks that the serial,
+    pickle-return, and shared-memory paths produce bit-identical
+    results.
+
+    The shared-memory path pays a fixed segment create/unlink cost per
+    sweep, so it wins once the sweep has a realistic number of seeds
+    (the paper averages 30 per cell; break-even is a few hundred total)
+    — keep ``n_cells × runs_per_cell`` ≥ ~500.
+    """
+    base = ExperimentConfig(
+        n_nodes=30, duration=5.0, n_pairs=2, field_size=600.0
+    )
+    cells = [
+        Cell(base.with_(seed=s), metric_delivery_rate, runs_per_cell)
+        for s in range(n_cells)
+    ]
+    payloads: list[tuple] = []
+    for cell in cells:
+        for cfg in cell.seed_configs():
+            payloads.append(
+                (len(payloads), None, cfg, cell.metric,
+                 cell.max_packets_per_pair)
+            )
+    rng = np.random.default_rng(5)
+    values = rng.uniform(size=len(payloads)).tolist()
+
+    def pickle_transport() -> None:
+        # Legacy probe: serialize every payload a second time …
+        assert _picklable(payloads)
+        # … and pickle every result value back to the parent.
+        for v in values:
+            tag, out = pickle.loads(pickle.dumps(("value", v)))
+            assert out == v
+
+    def shm_transport() -> None:
+        # New probe: one representative payload per distinct metric.
+        assert all(
+            _picklable(p) for p in _representative_payloads(payloads)
+        )
+        shm = shared_memory.SharedMemory(create=True, size=8 * len(values))
+        try:
+            buf = np.ndarray(
+                (len(values),), dtype=np.float64, buffer=shm.buf
+            )
+            for slot, v in enumerate(values):  # worker-side slot writes
+                buf[slot] = v
+            for slot, v in enumerate(values):  # parent-side slot reads
+                assert float(buf[slot]) == v
+        finally:
+            buf = None
+            shm.close()
+            shm.unlink()
+
+    out: dict[str, float] = {
+        "cells": n_cells,
+        "seeds": len(payloads),
+        "pickle_ipc_mean_s": _timeit(pickle_transport, reps)["mean_s"],
+        "shm_ipc_mean_s": _timeit(shm_transport, reps)["mean_s"],
+    }
+    out["speedup"] = (
+        out["pickle_ipc_mean_s"] / out["shm_ipc_mean_s"]
+        if out["shm_ipc_mean_s"] > 0
+        else float("nan")
+    )
+
+    parity_cells = [
+        Cell(base.with_(seed=s), metric_delivery_rate, 1) for s in range(4)
+    ]
+    with SweepExecutor(workers=1) as ex:
+        serial = ex.map_cells(parity_cells)
+    with SweepExecutor(workers=2, use_shared_memory=False) as ex:
+        pickled = ex.map_cells(parity_cells)
+    with SweepExecutor(workers=2, use_shared_memory=True) as ex:
+        shared = ex.map_cells(parity_cells)
+    out["identical_results"] = serial == pickled == shared
+    return out
+
+
 def run_harness(quick: bool = False, sweep: bool = True) -> dict:
     """Execute every benchmark and assemble the report dict."""
     reps = 3 if quick else 10
@@ -252,6 +355,13 @@ def run_harness(quick: bool = False, sweep: bool = True) -> dict:
             "radius_query": bench_radius_query(n_nodes, reps),
             "hello_round": bench_hello_round(n_nodes, reps),
             "alert_run": bench_alert_run(10.0 if quick else 60.0),
+            # Acceptance target: shared-memory sweep IPC >= 1.5x the
+            # pickle path at a 100+-cell sweep, bit-identical results.
+            "sweep_ipc": bench_sweep_ipc(
+                n_cells=120,
+                runs_per_cell=5 if quick else 30,
+                reps=max(reps, 5),
+            ),
         },
     }
     if sweep:
@@ -297,6 +407,10 @@ def test_perf_harness_smoke(tmp_path):
     assert snap["incremental_mean_s"] > 0.0
     assert snap["incremental_refreshes"] > 0  # the diff path really ran
     assert report["timings"]["sweep"]["identical_results"]
+    ipc = report["timings"]["sweep_ipc"]
+    assert ipc["cells"] >= 100
+    assert ipc["identical_results"]  # serial == pickle == shared memory
+    assert ipc["speedup"] >= 1.5
     out = tmp_path / "BENCH_perf.json"
     out.write_text(json.dumps(report))
     assert json.loads(out.read_text())["schema"] == 1

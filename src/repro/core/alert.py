@@ -402,9 +402,7 @@ class AlertProtocol(RoutingProtocol):
         """
         if not self.config.promiscuous_destination or packet.dst < 0:
             return None
-        branch = packet.fork()
-        branch.header = packet.header.clone()
-        return packet.dst, branch
+        return packet.dst, packet.fork()
 
     def _on_link_failure(self, node: Node, choice, packet: Packet, reason: str) -> None:
         hdr: AlertHeader = packet.header
@@ -494,7 +492,6 @@ class AlertProtocol(RoutingProtocol):
                 if e.position.sq_distance_to(center) < my_d - 1e-9:
                     return  # someone more central will do it
         branch = packet.fork()
-        branch.header = hdr.clone()
         branch.header.zone_stage = 2
         self._mark_participant(packet, node.id)
         self.metrics.note("zone_rebroadcasts")
@@ -510,7 +507,7 @@ class AlertProtocol(RoutingProtocol):
         for holder_id, held in state.holders:
             held_pkt: Packet = held  # type: ignore[assignment]
             release = held_pkt.fork()
-            rhdr = release.header.clone()
+            rhdr: AlertHeader = release.header
             rhdr.zone_stage = 2
             # Fresh scramble so the release is not byte-identical to
             # the original multicast.
@@ -522,7 +519,6 @@ class AlertProtocol(RoutingProtocol):
             self.cost.pubkey_encrypt()
             release.payload = scrambled
             rhdr.bitmap_chain.append(bitmap)
-            release.header = rhdr
             self.metrics.note("defense_releases")
             self.network.local_broadcast(holder_id, release, flow=release.flow_id)
         state.holders = []

@@ -94,9 +94,11 @@ class AlertHeader:
     def clone(self) -> "AlertHeader":
         """Deep-enough copy for broadcast branches.
 
-        Broadcast forks share the packet's header object; a branch that
-        needs to mutate routing state (zone stage, bitmap chain,
-        segment) must clone first so sibling branches are unaffected.
+        :meth:`repro.net.packet.Packet.fork` calls this for every
+        broadcast branch, so each receiver can mutate routing state
+        (zone stage, bitmap chain, segment) without affecting siblings.
+        The mutable ``bitmap_chain`` list and ``segment`` record are
+        copied; everything else is immutable and shared.
         """
         return AlertHeader(
             ptype=self.ptype,

@@ -2,26 +2,53 @@
 
 Every sweep cell — one ``(config, seed)`` simulation — is independently
 seeded (see :func:`repro.experiments.runner.run_many`), so a figure's
-grid of cells is embarrassingly parallel.  This module farms cells out
-to a :class:`concurrent.futures.ProcessPoolExecutor` at *seed*
-granularity (the finest available, for load balancing) and regroups
-results in submission order, which makes the parallel path
-bit-identical to the serial one.
+grid of cells is embarrassingly parallel.  :class:`SweepExecutor` farms
+cells out at *seed* granularity (the finest available, for load
+balancing) and regroups results in submission order, which makes the
+parallel path bit-identical to the serial one.
+
+The executor is persistent: its :class:`~concurrent.futures.\
+ProcessPoolExecutor` stays warm across ``map_cells`` calls, so a figure
+driver running several sweeps pays the worker-spawn cost once.  Scalar
+(``float``) metric values return through a
+:mod:`multiprocessing.shared_memory` float64 buffer — one slot per
+``(cell, seed)`` — instead of being pickled back; non-float values fall
+back to pickle transparently.  Completions stream through
+``concurrent.futures.as_completed``, so an ``on_result(cell_idx,
+seed_idx, value)`` callback observes partial results while the sweep is
+still running.
+
+Robustness semantics:
+
+* a sweep whose worker process dies is retried **once** on a fresh pool
+  (only the still-pending seeds are resubmitted) before
+  :class:`~concurrent.futures.process.BrokenProcessPool` surfaces;
+* exceptions raised *by the metric or simulation* propagate immediately
+  with their original type — they are bugs, not infrastructure
+  failures, and are never retried;
+* every degradation to the serial path is logged (never silent).
 
 Workers are selected via the ``REPRO_WORKERS`` environment variable
 (default ``os.cpu_count()``); ``REPRO_WORKERS=1`` forces the serial
 fallback.  Work items whose config or metric cannot be pickled (e.g. a
-lambda metric) silently fall back to serial execution — parallelism is
-an optimisation, never a behavioural requirement.
+lambda metric) run serially — parallelism is an optimisation, never a
+behavioural requirement.
 """
 
 from __future__ import annotations
 
+import atexit
+import logging
 import os
 import pickle
+from concurrent.futures import as_completed
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
@@ -31,9 +58,14 @@ from repro.experiments.runner import (
     seed_for_run,
 )
 
+log = logging.getLogger(__name__)
+
 #: Metric extractors usually return a float, but any picklable value
 #: (e.g. a per-packet series) crosses the process boundary fine.
 MetricFn = Callable[[RunResult], Any]
+
+#: Streaming progress callback: ``(cell_idx, seed_idx, value)``.
+OnResult = Callable[[int, int, Any], None]
 
 
 def worker_count() -> int:
@@ -71,53 +103,371 @@ class Cell:
         ]
 
 
-def _run_seed(
-    payload: tuple[ExperimentConfig, MetricFn, int | None]
-) -> float:
-    """Worker entry point: one seeded simulation → one metric value."""
-    cfg, metric, max_packets_per_pair = payload
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Sentinel return tag: the value was written to the shared buffer.
+_IN_SHM = ("__repro_in_shm__",)
+
+#: Worker-process cache of the currently attached result buffer.  Each
+#: ``map_cells`` call uses one segment; attaching a new name drops the
+#: stale attachment from the previous sweep.
+_worker_shm: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_result_buffer(name: str) -> shared_memory.SharedMemory:
+    shm = _worker_shm.get(name)
+    if shm is None:
+        for stale in list(_worker_shm):
+            _worker_shm.pop(stale).close()
+        # Attaching re-registers the name with the resource tracker;
+        # under the fork start method workers share the parent's
+        # tracker, so that is a set-add no-op and the parent's unlink
+        # cleans up exactly once.  (Python 3.13's track=False makes
+        # this explicit; until then, don't unregister here — doing so
+        # would race the owning parent's own unregistration.)
+        shm = shared_memory.SharedMemory(name=name)
+        _worker_shm[name] = shm
+    return shm
+
+
+def _run_seed(payload: tuple) -> Any:
+    """Worker entry point: one seeded simulation → one metric value.
+
+    ``payload`` is ``(slot, shm_name, cfg, metric, max_packets)``.
+    Exact-``float`` values are written into slot ``slot`` of the shared
+    float64 buffer and only a tag crosses the pickle boundary; anything
+    else (ints, series, None) returns by pickle so the caller sees the
+    identical object the serial path would produce.
+    """
+    slot, shm_name, cfg, metric, max_packets_per_pair = payload
+    result = run_experiment(cfg, max_packets_per_pair=max_packets_per_pair)
+    value = metric(result)
+    if shm_name is not None and type(value) is float:
+        shm = _attach_result_buffer(shm_name)
+        np.ndarray(
+            (shm.size // 8,), dtype=np.float64, buffer=shm.buf
+        )[slot] = value
+        return _IN_SHM
+    return ("value", value)
+
+
+def _run_seed_local(payload: tuple) -> Any:
+    """In-process (serial) twin of :func:`_run_seed` — no transport."""
+    _slot, _shm_name, cfg, metric, max_packets_per_pair = payload
     result = run_experiment(cfg, max_packets_per_pair=max_packets_per_pair)
     return metric(result)
 
 
-def _picklable(*objects: object) -> bool:
+# ----------------------------------------------------------------------
+# picklability probing
+# ----------------------------------------------------------------------
+def _picklable(obj: object) -> bool:
     try:
-        pickle.dumps(objects)
+        pickle.dumps(obj)
     except Exception:
         return False
     return True
 
 
+def _representative_payloads(payloads: Sequence[tuple]) -> list[tuple]:
+    """One payload per distinct metric callable.
+
+    Configs are plain dataclasses of scalars; the metric function is
+    the only piece whose picklability varies (lambdas and closures
+    can't cross process boundaries).  Probing one representative per
+    metric avoids re-serializing the whole ``configs × seeds`` payload
+    list just to find out.
+    """
+    seen: set[int] = set()
+    reps: list[tuple] = []
+    for p in payloads:
+        metric_id = id(p[3])
+        if metric_id not in seen:
+            seen.add(metric_id)
+            reps.append(p)
+    return reps
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+_PENDING = object()
+
+
+class SweepExecutor:
+    """Persistent sweep executor: warm process pool + shared-memory IPC.
+
+    Parameters
+    ----------
+    workers:
+        Pool width; ``None`` defers to ``REPRO_WORKERS`` /
+        ``os.cpu_count()`` at each ``map_cells`` call, ``1`` forces
+        serial execution.
+    use_shared_memory:
+        Transport for exact-``float`` metric values.  ``True`` (the
+        default) returns them through a shared float64 buffer; ``False``
+        forces the legacy pickle return path (kept for benchmarking —
+        results are bit-identical either way).
+
+    The executor is a context manager; ``close()`` shuts the warm pool
+    down.  The module-level :func:`parallel_map_cells` uses a shared
+    executor per worker count, so independent sweeps reuse one pool.
+    """
+
+    #: one retry on a fresh pool before BrokenProcessPool surfaces
+    MAX_POOL_RETRIES = 1
+
+    def __init__(
+        self, workers: int | None = None, use_shared_memory: bool = True
+    ) -> None:
+        self._workers_arg = workers
+        self.use_shared_memory = use_shared_memory
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_width = 0
+        #: diagnostics: fresh pools created after a worker death
+        self.pool_restarts = 0
+        self._warned_serial = False
+
+    # -- pool lifecycle -------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Resolved pool width for the next ``map_cells`` call."""
+        if self._workers_arg is not None:
+            return max(1, self._workers_arg)
+        return worker_count()
+
+    def _ensure_pool(self, width: int) -> ProcessPoolExecutor:
+        if self._pool is None or self._pool_width != width:
+            self._shutdown_pool()
+            self._pool = ProcessPoolExecutor(max_workers=width)
+            self._pool_width = width
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_width = 0
+
+    def close(self) -> None:
+        """Shut the warm worker pool down (idempotent)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- logging --------------------------------------------------------
+    def _warn_serial(self, reason: str) -> None:
+        """One-shot (per executor) warning when a sweep degrades."""
+        if not self._warned_serial:
+            self._warned_serial = True
+            log.warning(
+                "sweep degraded to serial execution: %s "
+                "(parallelism is an optimisation; results are identical)",
+                reason,
+            )
+
+    # -- execution ------------------------------------------------------
+    def map_cells(
+        self,
+        cells: Sequence[Cell],
+        on_result: OnResult | None = None,
+    ) -> list[list[Any]]:
+        """Run every cell's seeds, parallel across processes when possible.
+
+        Returns one list of per-seed metric values per cell, in cell
+        order — bit-identical to running each cell serially, because
+        each seed's simulation is fully determined by its config.
+        ``on_result`` (if given) fires once per completed ``(cell,
+        seed)`` as results stream in; completion order is submission
+        order on the serial path and nondeterministic in parallel.
+        """
+        payloads: list[tuple] = []
+        coords: list[tuple[int, int]] = []
+        spans: list[tuple[int, int]] = []
+        for cell_idx, cell in enumerate(cells):
+            start = len(payloads)
+            for seed_idx, cfg in enumerate(cell.seed_configs()):
+                slot = len(payloads)
+                payloads.append(
+                    (slot, None, cfg, cell.metric, cell.max_packets_per_pair)
+                )
+                coords.append((cell_idx, seed_idx))
+            spans.append((start, len(payloads)))
+
+        values: list[Any] = [_PENDING] * len(payloads)
+        width = min(self.workers, len(payloads)) if payloads else 1
+        if width <= 1:
+            self._run_serial(payloads, coords, values, on_result)
+        elif not all(_picklable(p) for p in _representative_payloads(payloads)):
+            self._warn_serial(
+                "config or metric is not picklable "
+                "(use the named repro.experiments.sweeps.metric_* "
+                "extractors instead of lambdas)"
+            )
+            self._run_serial(payloads, coords, values, on_result)
+        else:
+            try:
+                self._run_parallel(payloads, coords, values, width, on_result)
+            except OSError as exc:
+                # Restricted environments (no fork/semaphores) degrade
+                # to the serial path rather than failing the sweep.
+                self._warn_serial(f"process pool unavailable ({exc})")
+                self._shutdown_pool()
+                self._run_serial(payloads, coords, values, on_result)
+
+        return [values[s:e] for s, e in spans]
+
+    def _run_serial(
+        self,
+        payloads: Sequence[tuple],
+        coords: Sequence[tuple[int, int]],
+        values: list[Any],
+        on_result: OnResult | None,
+    ) -> None:
+        for slot, payload in enumerate(payloads):
+            if values[slot] is not _PENDING:
+                continue
+            values[slot] = _run_seed_local(payload)
+            if on_result is not None:
+                cell_idx, seed_idx = coords[slot]
+                on_result(cell_idx, seed_idx, values[slot])
+
+    def _run_parallel(
+        self,
+        payloads: Sequence[tuple],
+        coords: Sequence[tuple[int, int]],
+        values: list[Any],
+        width: int,
+        on_result: OnResult | None,
+    ) -> None:
+        shm: shared_memory.SharedMemory | None = None
+        buf: np.ndarray | None = None
+        if self.use_shared_memory:
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=8 * len(payloads)
+                )
+                buf = np.ndarray(
+                    (len(payloads),), dtype=np.float64, buffer=shm.buf
+                )
+            except (OSError, ValueError) as exc:
+                log.warning(
+                    "shared-memory result buffer unavailable (%s); "
+                    "falling back to pickled results",
+                    exc,
+                )
+                shm = None
+        try:
+            retries = 0
+            while True:
+                try:
+                    self._drain_pool(
+                        payloads, coords, values, width, shm, buf, on_result
+                    )
+                    return
+                except BrokenProcessPool:
+                    self._shutdown_pool()
+                    if retries >= self.MAX_POOL_RETRIES:
+                        raise
+                    retries += 1
+                    self.pool_restarts += 1
+                    pending = sum(1 for v in values if v is _PENDING)
+                    log.warning(
+                        "worker process died; retrying %d pending seed(s) "
+                        "on a fresh pool (attempt %d/%d)",
+                        pending,
+                        retries + 1,
+                        self.MAX_POOL_RETRIES + 1,
+                    )
+        finally:
+            if shm is not None:
+                buf = None  # release the numpy view before closing
+                shm.close()
+                shm.unlink()
+
+    def _drain_pool(
+        self,
+        payloads: Sequence[tuple],
+        coords: Sequence[tuple[int, int]],
+        values: list[Any],
+        width: int,
+        shm: shared_memory.SharedMemory | None,
+        buf: np.ndarray | None,
+        on_result: OnResult | None,
+    ) -> None:
+        """Submit every still-pending payload and stream completions."""
+        pool = self._ensure_pool(width)
+        shm_name = shm.name if shm is not None else None
+        futures = {}
+        for slot, payload in enumerate(payloads):
+            if values[slot] is not _PENDING:
+                continue
+            wire = (slot, shm_name, *payload[2:])
+            futures[pool.submit(_run_seed, wire)] = slot
+        try:
+            for fut in as_completed(futures):
+                slot = futures[fut]
+                tag = fut.result()  # re-raises worker-side exceptions
+                if tag == _IN_SHM:
+                    assert buf is not None
+                    # float64 round-trips exactly: bit-identical to the
+                    # worker's (and hence the serial path's) value.
+                    values[slot] = float(buf[slot])
+                else:
+                    values[slot] = tag[1]
+                if on_result is not None:
+                    cell_idx, seed_idx = coords[slot]
+                    on_result(cell_idx, seed_idx, values[slot])
+        except BrokenProcessPool:
+            raise
+        except BaseException:
+            # A metric/simulation bug: surface it with its original
+            # type; cancel whatever has not started yet.
+            for fut in futures:
+                fut.cancel()
+            raise
+
+
+# ----------------------------------------------------------------------
+# module-level convenience API (shared warm executors)
+# ----------------------------------------------------------------------
+#: Shared executors keyed by the ``workers`` argument (``None`` =
+#: env-resolved).  Reusing them keeps pools warm across sweeps.
+_shared_executors: dict[int | None, SweepExecutor] = {}
+
+
+def get_executor(workers: int | None = None) -> SweepExecutor:
+    """The shared persistent executor for a given worker setting."""
+    ex = _shared_executors.get(workers)
+    if ex is None:
+        ex = SweepExecutor(workers)
+        _shared_executors[workers] = ex
+    return ex
+
+
+@atexit.register
+def _close_shared_executors() -> None:  # pragma: no cover - atexit
+    for ex in _shared_executors.values():
+        ex.close()
+
+
 def parallel_map_cells(
-    cells: Sequence[Cell], workers: int | None = None
-) -> list[list[float]]:
-    """Run every cell's seeds, parallel across processes when possible.
+    cells: Sequence[Cell],
+    workers: int | None = None,
+    on_result: OnResult | None = None,
+) -> list[list[Any]]:
+    """Run every cell's seeds on the shared persistent executor.
 
     Returns one list of per-seed metric values per cell, in cell order
-    — bit-identical to running each cell serially, because each seed's
-    simulation is fully determined by its config.
+    — bit-identical to running each cell serially.  See
+    :meth:`SweepExecutor.map_cells`.
     """
-    payloads: list[tuple[ExperimentConfig, MetricFn, int | None]] = []
-    spans: list[tuple[int, int]] = []
-    for cell in cells:
-        start = len(payloads)
-        for cfg in cell.seed_configs():
-            payloads.append((cfg, cell.metric, cell.max_packets_per_pair))
-        spans.append((start, len(payloads)))
-
-    w = workers if workers is not None else worker_count()
-    w = min(w, len(payloads)) if payloads else 1
-    if w <= 1 or not _picklable(payloads):
-        values = [_run_seed(p) for p in payloads]
-    else:
-        try:
-            with ProcessPoolExecutor(max_workers=w) as pool:
-                values = list(pool.map(_run_seed, payloads))
-        except (OSError, pickle.PicklingError):
-            # Restricted environments (no fork/semaphores) degrade to
-            # the serial path rather than failing the sweep.
-            values = [_run_seed(p) for p in payloads]
-    return [values[s:e] for s, e in spans]
+    return get_executor(workers).map_cells(cells, on_result=on_result)
 
 
 def run_many_parallel(
@@ -126,7 +476,8 @@ def run_many_parallel(
     runs: int | None = None,
     max_packets_per_pair: int | None = None,
     workers: int | None = None,
-) -> list[float]:
+    on_result: OnResult | None = None,
+) -> list[Any]:
     """Parallel counterpart of ``[metric(r) for r in run_many(cfg)]``.
 
     Results are returned in seed order and are bit-identical to the
@@ -134,4 +485,4 @@ def run_many_parallel(
     """
     n = runs if runs is not None else default_runs()
     cell = Cell(cfg, metric, n, max_packets_per_pair)
-    return parallel_map_cells([cell], workers=workers)[0]
+    return parallel_map_cells([cell], workers=workers, on_result=on_result)[0]

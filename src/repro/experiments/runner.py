@@ -152,6 +152,12 @@ def choose_pairs(
     cfg: ExperimentConfig, engine: Engine
 ) -> list[tuple[int, int]]:
     """Draw ``n_pairs`` disjoint random S-D pairs."""
+    if 2 * cfg.n_pairs > cfg.n_nodes:
+        raise ValueError(
+            f"config asks for n_pairs={cfg.n_pairs} disjoint S-D pairs, "
+            f"which needs {2 * cfg.n_pairs} distinct nodes, but "
+            f"n_nodes={cfg.n_nodes}; lower n_pairs or raise n_nodes"
+        )
     rng = engine.rng.stream("pairs")
     ids = rng.permutation(cfg.n_nodes)
     return [

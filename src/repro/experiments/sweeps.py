@@ -4,13 +4,16 @@
 averaged over seeds, and returns mean/CI series ready for
 :func:`repro.experiments.tables.format_series_table`.
 
-Cells execute through :mod:`repro.experiments.parallel`: with
-``REPRO_WORKERS`` > 1 (the default is ``os.cpu_count()``) every
-(protocol × x-value × seed) simulation runs in a process pool, and the
-results are bit-identical to the serial path because each cell is
-independently seeded.  Metrics passed as lambdas cannot cross process
-boundaries and silently run serially — prefer the named ``metric_*``
-extractors below.
+Cells execute through the persistent executor of
+:mod:`repro.experiments.parallel`: with ``REPRO_WORKERS`` > 1 (the
+default is ``os.cpu_count()``) every (protocol × x-value × seed)
+simulation runs in a warm process pool with scalar results streaming
+back through a shared-memory buffer, and the results are bit-identical
+to the serial path because each cell is independently seeded.  Metrics
+passed as lambdas cannot cross process boundaries and run serially
+(with a logged warning) — prefer the named ``metric_*`` extractors
+below.  Pass ``on_result`` to observe partial results while the sweep
+is still running.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import Cell, parallel_map_cells
+from repro.experiments.parallel import Cell, OnResult, parallel_map_cells
 from repro.experiments.runner import RunResult, aggregate, default_runs
 
 
@@ -64,6 +67,7 @@ def sweep_metric(
     max_packets_per_pair: int | None = None,
     extra_overrides: Mapping[str, Mapping[str, Any]] | None = None,
     workers: int | None = None,
+    on_result: OnResult | None = None,
 ) -> tuple[dict[str, list[float]], dict[str, list[float]]]:
     """Sweep ``x_field`` over ``x_values`` for each protocol.
 
@@ -81,6 +85,10 @@ def sweep_metric(
     workers:
         Process-pool width; ``None`` defers to ``REPRO_WORKERS`` /
         ``os.cpu_count()``, ``1`` forces serial execution.
+    on_result:
+        Optional streaming callback ``(cell_idx, seed_idx, value)``,
+        fired once per completed seed as results arrive.  Cells are
+        ordered x-value-major then protocol (the submission order).
 
     Returns
     -------
@@ -103,7 +111,7 @@ def sweep_metric(
                 )
             )
 
-    per_cell = parallel_map_cells(cells, workers=workers)
+    per_cell = parallel_map_cells(cells, workers=workers, on_result=on_result)
 
     means: dict[str, list[float]] = {p: [] for p in protocols}
     cis: dict[str, list[float]] = {p: [] for p in protocols}
@@ -125,6 +133,7 @@ def sweep_single(
     runs: int | None = None,
     max_packets_per_pair: int | None = None,
     workers: int | None = None,
+    on_result: OnResult | None = None,
 ) -> tuple[list[float], list[float]]:
     """One-protocol sweep; returns (means, cis) over ``x_values``."""
     means, cis = sweep_metric(
@@ -136,5 +145,6 @@ def sweep_single(
         runs=runs,
         max_packets_per_pair=max_packets_per_pair,
         workers=workers,
+        on_result=on_result,
     )
     return means[base.protocol], cis[base.protocol]

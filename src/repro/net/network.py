@@ -372,7 +372,9 @@ class Network:
         """One-hop unacknowledged broadcast.
 
         Every in-range node receives a :meth:`~repro.net.packet.Packet.fork`
-        of ``packet`` (so traces stay per-branch).  ``restrict_to``
+        of ``packet`` — its own trace list *and* its own header copy,
+        so a receiver mutating per-hop routing state cannot corrupt a
+        sibling branch.  ``restrict_to``
         optionally filters the receiver set by node id — used by
         ALERT's destination-zone delivery where only zone members
         process the frame (others drop it at the link layer).

@@ -9,12 +9,28 @@ hops-per-packet metrics (§5.2 metrics 1 and 4).
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
 _packet_ids = itertools.count(1)
+
+
+def clone_header(header: Any) -> Any:
+    """Copy a protocol header for an independent packet branch.
+
+    Headers that define a ``clone()`` method use it (cheap and
+    type-aware — see e.g. :meth:`repro.core.packet_format.AlertHeader.
+    clone`); anything else is deep-copied.  ``None`` passes through.
+    """
+    if header is None:
+        return None
+    clone = getattr(header, "clone", None)
+    if callable(clone):
+        return clone()
+    return copy.deepcopy(header)
 
 
 class PacketKind(Enum):
@@ -81,14 +97,22 @@ class Packet:
 
         The copy starts with the parent's trace (so path accounting
         stays meaningful for multicast deliveries) but gets its own
-        list object, and its own uid.
+        list object, its own uid, and — unless ``header=`` is passed
+        explicitly — its **own header copy** (:func:`clone_header`).
+        Broadcast receivers mutate per-hop routing state in the header
+        (retry counters, TTLs, zone stages); sharing one header object
+        across branches would let one receiver corrupt its siblings.
         """
+        if "header" in overrides:
+            header = overrides["header"]
+        else:
+            header = clone_header(self.header)
         clone = Packet(
             kind=overrides.get("kind", self.kind),
             src=overrides.get("src", self.src),
             dst=overrides.get("dst", self.dst),
             size_bytes=overrides.get("size_bytes", self.size_bytes),
-            header=overrides.get("header", self.header),
+            header=header,
             payload=overrides.get("payload", self.payload),
             created_at=overrides.get("created_at", self.created_at),
             flow_id=overrides.get("flow_id", self.flow_id),

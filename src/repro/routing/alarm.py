@@ -27,7 +27,7 @@ Model
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.geometry.primitives import Point
 from repro.net.node import Node
@@ -67,6 +67,10 @@ class AlarmHeader:
     perimeter_entry: Point | None = None
     prev_pos: Point | None = None
     retries: int = 0
+
+    def clone(self) -> "AlarmHeader":
+        """Independent copy for a broadcast branch (fields immutable)."""
+        return replace(self)
 
 
 class AlarmProtocol(RoutingProtocol):

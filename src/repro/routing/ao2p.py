@@ -25,7 +25,7 @@ Model
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.geometry.primitives import Point
 from repro.net.node import Node
@@ -72,6 +72,10 @@ class Ao2pHeader:
     perimeter_entry: Point | None = None
     prev_pos: Point | None = None
     retries: int = 0
+
+    def clone(self) -> "Ao2pHeader":
+        """Independent copy for a broadcast branch (fields immutable)."""
+        return replace(self)
 
 
 class Ao2pProtocol(RoutingProtocol):

@@ -24,7 +24,7 @@ Implementation notes
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.net.neighbor_table import NeighborEntry
 from repro.net.node import Node
@@ -140,6 +140,10 @@ class GpsrHeader:
     perimeter_entry: Point | None = None
     prev_pos: Point | None = None
     retries: int = 0
+
+    def clone(self) -> "GpsrHeader":
+        """Independent copy for a broadcast branch (fields immutable)."""
+        return replace(self)
 
 
 class GpsrProtocol(RoutingProtocol):

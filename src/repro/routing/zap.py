@@ -14,7 +14,7 @@ so the attack benchmark can reproduce that comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.geometry.primitives import Point, Rect
@@ -63,6 +63,10 @@ class ZapHeader:
     retries: int = 0
     session: int = 0
     seq: int = 0
+
+    def clone(self) -> "ZapHeader":
+        """Independent copy for a broadcast branch (fields immutable)."""
+        return replace(self)
 
 
 class ZapProtocol(RoutingProtocol):
@@ -195,7 +199,8 @@ class ZapProtocol(RoutingProtocol):
         )
         if self.zone_delivery_observer is not None:
             # Sender + in-zone receivers are the visibly active set.
-            in_zone = [node.id] + [r for r in receivers if r in set(members)]
+            member_set = set(members)
+            in_zone = [node.id] + [r for r in receivers if r in member_set]
             self.zone_delivery_observer(self.engine.now, in_zone)
         self.metrics.note("zap_zone_floods")
         self.metrics.note("zap_zone_population", len(members))

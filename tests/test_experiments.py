@@ -84,6 +84,15 @@ class TestRunner:
         flat = [x for p in pairs for x in p]
         assert len(flat) == len(set(flat)) == 20
 
+    def test_too_many_pairs_raises_clear_error(self):
+        # choose_pairs guards independently of config validation (a
+        # hand-built config can bypass __post_init__); it must name
+        # both offending fields instead of a bare IndexError.
+        cfg = ExperimentConfig(n_nodes=40, n_pairs=10)
+        object.__setattr__(cfg, "n_pairs", 30)  # bypass frozen+validation
+        with pytest.raises(ValueError, match=r"n_pairs=30.*n_nodes=40"):
+            choose_pairs(cfg, Engine(3))
+
     def test_run_reproducible(self):
         cfg = ExperimentConfig(
             protocol="GPSR", n_nodes=40, duration=10, n_pairs=2,

@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
-from repro.net.packet import Packet, PacketKind
+from dataclasses import dataclass, field
+
+from repro.core.packet_format import (
+    AlertHeader,
+    AlertPacketType,
+    SegmentState,
+)
+from repro.core.zones import Direction
+from repro.geometry.primitives import Rect
+from repro.net.packet import Packet, PacketKind, clone_header
+from repro.routing.zap import ZapHeader
 
 
 def make(**kw):
@@ -62,3 +72,79 @@ class TestPacket:
         assert {k.value for k in PacketKind} == {
             "data", "hello", "cover", "nak", "control",
         }
+
+
+def alert_header(**kw):
+    defaults = dict(
+        ptype=AlertPacketType.RREQ,
+        p_src=b"s" * 20,
+        p_dst=b"d" * 20,
+        zone_dst=Rect(0, 0, 100, 100),
+        zone_src_enc=b"",
+        td=None,
+        h=0,
+        h_max=4,
+        direction=Direction.VERTICAL,
+    )
+    defaults.update(kw)
+    return AlertHeader(**defaults)
+
+
+class TestForkHeaderIsolation:
+    """`fork()` must give each branch its own header copy.
+
+    Regression tests for the broadcast header-aliasing bug: every
+    receiver of ``Network.local_broadcast`` used to share one mutable
+    header object, so ``hdr.segment.retries = 0`` (ALERT) or
+    ``hdr.retries = 0`` (ZAP) in one branch corrupted its siblings.
+    """
+
+    def test_fork_clones_header_object(self):
+        p = make(header=alert_header())
+        q = p.fork()
+        assert q.header is not p.header
+
+    def test_branch_mutation_cannot_affect_parent(self):
+        p = make(header=alert_header())
+        q = p.fork()
+        q.header.zone_stage = 2
+        q.header.segment.retries = 5
+        q.header.bitmap_chain.append(b"x")
+        assert p.header.zone_stage == 0
+        assert p.header.segment.retries == 0
+        assert p.header.bitmap_chain == []
+
+    def test_sibling_branches_are_independent(self):
+        p = make(header=ZapHeader(zone=Rect(0, 0, 50, 50), ttl=12))
+        a, b = p.fork(), p.fork()
+        a.header.retries = 7
+        a.header.ttl -= 3
+        assert b.header.retries == 0
+        assert b.header.ttl == 12
+
+    def test_explicit_header_override_is_not_cloned(self):
+        hdr = alert_header()
+        p = make(header=alert_header())
+        q = p.fork(header=hdr)
+        assert q.header is hdr
+
+    def test_none_header_stays_none(self):
+        assert make().fork().header is None
+
+    def test_clone_header_deepcopy_fallback(self):
+        @dataclass
+        class CustomHeader:  # no clone() method
+            hops: list = field(default_factory=list)
+
+        hdr = CustomHeader(hops=[1, 2])
+        copy_ = clone_header(hdr)
+        copy_.hops.append(3)
+        assert hdr.hops == [1, 2]
+
+    def test_clone_header_prefers_clone_method(self):
+        class Marked:
+            def clone(self):
+                return ("cloned", self)
+
+        hdr = Marked()
+        assert clone_header(hdr) == ("cloned", hdr)

@@ -154,6 +154,41 @@ class TestBroadcast:
         uids = [p.uid for p in seen]
         assert len(uids) == len(set(uids))
 
+    def test_receiver_header_mutation_cannot_affect_other_branch(
+        self, static_network
+    ):
+        """Header-aliasing regression (the zone-broadcast corruption bug).
+
+        Every branch of a broadcast must carry its own header copy: a
+        receiver resetting its per-hop routing state (as ALERT does with
+        ``hdr.segment.retries = 0`` and ZAP with ``hdr.retries = 0``)
+        used to mutate the single shared header object, corrupting every
+        sibling branch.  Fails on the pre-fix ``Packet.fork()``.
+        """
+        from repro.routing.zap import ZapHeader
+        from repro.geometry.primitives import Rect
+
+        net = static_network
+        delivered = []
+        for n in net.nodes:
+            n.on_receive = lambda node, pkt: delivered.append(pkt)
+        packet = data_packet(src=0, dst=-1)
+        packet.header = ZapHeader(zone=Rect(0, 0, 100, 100), ttl=12, retries=2)
+        receivers = net.local_broadcast(0, packet)
+        net.engine.run()
+        if len(receivers) < 2:
+            return  # collided frame / sparse neighborhood: nothing to check
+        headers = [p.header for p in delivered]
+        assert len(set(map(id, headers))) == len(headers)  # no aliasing
+        # One receiver mutates its per-hop state...
+        headers[0].retries = 0
+        headers[0].ttl -= 1
+        # ...and neither a sibling branch nor the sender's packet moves.
+        assert headers[1].retries == 2
+        assert headers[1].ttl == 12
+        assert packet.header.retries == 2
+        assert packet.header.ttl == 12
+
 
 class TestHello:
     def test_beacons_populate_neighbor_tables(self, small_network):

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import logging
+import os
+
 import pytest
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     Cell,
+    SweepExecutor,
+    get_executor,
     parallel_map_cells,
     run_many_parallel,
     worker_count,
@@ -32,6 +38,31 @@ def _conditionally_exploding_metric(result):
     """Fails only for one seed, so some siblings succeed first."""
     if result.config.seed == seed_for_run(SMALL, 1):
         raise RuntimeError("metric exploded for seed 1")
+    return result.delivery_rate
+
+
+def _series_metric(result):
+    """Non-float metric: exercises the pickle fallback transport."""
+    return [result.delivery_rate, float(result.config.seed)]
+
+
+def _int_metric(result):
+    """Exact-int metric: must NOT be coerced through the float buffer."""
+    return int(result.config.seed)
+
+
+def _dying_metric(result):
+    """Kills the worker process outright (not a Python exception)."""
+    os._exit(3)
+
+
+def _crash_once_metric(result):
+    """Kills the worker the first time, succeeds after (via flag file)."""
+    flag = os.environ["REPRO_TEST_CRASH_FLAG"]
+    if not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os._exit(3)
     return result.delivery_rate
 
 
@@ -150,6 +181,128 @@ class TestWorkerCrash:
         # workers=1 (the fallback path) must not swallow it either.
         with pytest.raises(RuntimeError, match="metric exploded in worker"):
             run_many_parallel(SMALL, _exploding_metric, runs=1, workers=1)
+
+
+class TestStreamingCallback:
+    def test_callback_fires_once_per_seed_with_final_values(self):
+        cells = [
+            Cell(SMALL, metric_delivery_rate, runs=2),
+            Cell(SMALL.with_(protocol="GPSR"), metric_delivery_rate, runs=3),
+        ]
+        events: list[tuple[int, int, float]] = []
+        grouped = parallel_map_cells(
+            cells,
+            workers=2,
+            on_result=lambda c, s, v: events.append((c, s, v)),
+        )
+        # Exactly one event per (cell, seed), in any completion order.
+        assert sorted((c, s) for c, s, _ in events) == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (1, 2),
+        ]
+        # Each streamed value is the one the grouped result reports.
+        for c, s, v in events:
+            assert grouped[c][s] == v
+
+    def test_serial_path_streams_in_submission_order(self):
+        cells = [
+            Cell(SMALL, metric_delivery_rate, runs=2),
+            Cell(SMALL.with_(protocol="GPSR"), metric_delivery_rate, runs=1),
+        ]
+        events: list[tuple[int, int]] = []
+        parallel_map_cells(
+            cells, workers=1, on_result=lambda c, s, v: events.append((c, s))
+        )
+        assert events == [(0, 0), (0, 1), (1, 0)]
+
+
+class TestResultTransport:
+    """Shared-memory and pickle transports must agree bit-for-bit."""
+
+    CELLS = staticmethod(
+        lambda: [
+            Cell(SMALL, metric_delivery_rate, runs=2),
+            Cell(SMALL.with_(protocol="GPSR"), metric_mean_hops, runs=2),
+        ]
+    )
+
+    def test_shm_and_pickle_match_serial(self):
+        cells = self.CELLS()
+        with SweepExecutor(workers=1) as serial_ex:
+            serial = serial_ex.map_cells(cells)
+        with SweepExecutor(workers=2, use_shared_memory=True) as shm_ex:
+            via_shm = shm_ex.map_cells(cells)
+        with SweepExecutor(workers=2, use_shared_memory=False) as pkl_ex:
+            via_pickle = pkl_ex.map_cells(cells)
+        assert via_shm == serial  # exact equality, not approx
+        assert via_pickle == serial
+        for group in via_shm:
+            assert all(type(v) is float for v in group)
+
+    def test_non_float_metric_uses_pickle_fallback(self):
+        # Lists can't ride the float64 buffer; they must still arrive
+        # intact (and identical to serial) via the pickle path.
+        cell = Cell(SMALL, _series_metric, runs=2)
+        with SweepExecutor(workers=2) as ex:
+            parallel = ex.map_cells([cell])[0]
+        serial = [_series_metric(r) for r in run_many(SMALL, runs=2)]
+        assert parallel == serial
+        assert all(type(v) is list for v in parallel)
+
+    def test_int_metric_keeps_its_type(self):
+        # Exact ints must not come back coerced to float64.
+        cell = Cell(SMALL, _int_metric, runs=2)
+        with SweepExecutor(workers=2) as ex:
+            parallel = ex.map_cells([cell])[0]
+        assert parallel == [seed_for_run(SMALL, 0), seed_for_run(SMALL, 1)]
+        assert all(type(v) is int for v in parallel)
+
+    def test_warm_pool_is_reused_across_calls(self):
+        with SweepExecutor(workers=2) as ex:
+            ex.map_cells([Cell(SMALL, metric_delivery_rate, runs=2)])
+            pool = ex._pool
+            assert pool is not None
+            ex.map_cells([Cell(SMALL, metric_delivery_rate, runs=2)])
+            assert ex._pool is pool  # same warm pool, no respawn
+
+
+class TestPoolRetryOnWorkerDeath:
+    """A dying worker (not a Python exception) gets one fresh-pool retry."""
+
+    def test_persistent_crash_raises_after_one_retry(self):
+        with SweepExecutor(workers=2) as ex:
+            with pytest.raises(BrokenProcessPool):
+                ex.map_cells([Cell(SMALL, _dying_metric, runs=2)])
+            assert ex.pool_restarts == 1
+
+    def test_transient_crash_recovers_on_fresh_pool(
+        self, tmp_path, monkeypatch
+    ):
+        flag = tmp_path / "crashed-once"
+        monkeypatch.setenv("REPRO_TEST_CRASH_FLAG", str(flag))
+        with SweepExecutor(workers=2) as ex:
+            values = ex.map_cells([Cell(SMALL, _crash_once_metric, runs=2)])[0]
+            assert ex.pool_restarts == 1
+        assert flag.exists()
+        serial = [r.delivery_rate for r in run_many(SMALL, runs=2)]
+        assert values == serial  # retried seeds still bit-identical
+
+
+class TestSerialDegradeLogging:
+    def test_unpicklable_metric_warns_once_per_executor(self, caplog):
+        # runs=2 so the pool path is considered (a single payload runs
+        # serially by design, without any degrade warning).
+        cells = [Cell(SMALL, lambda r: r.delivery_rate, runs=2)]
+        with SweepExecutor(workers=2) as ex:
+            with caplog.at_level(
+                logging.WARNING, logger="repro.experiments.parallel"
+            ):
+                ex.map_cells(cells)
+                ex.map_cells(cells)  # second degrade: no second warning
+        degraded = [
+            r for r in caplog.records if "serial" in r.getMessage()
+        ]
+        assert len(degraded) == 1
+        assert "not picklable" in degraded[0].getMessage()
 
 
 class TestCellValidation:
