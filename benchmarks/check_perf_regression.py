@@ -1,0 +1,168 @@
+"""CI gate: fail when ``alert_run`` regresses against the committed baseline.
+
+Usage (what CI runs after the quick harness)::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py \
+        --baseline BENCH_perf.json --candidate /tmp/BENCH_perf_ci.json \
+        --max-regression 0.25
+
+The committed ``BENCH_perf.json`` is a *full* profile (60 simulated
+seconds) while CI runs the *quick* one (10 s), so raw means are not
+directly comparable — and neither is raw per-event cost, because the
+fixed per-run setup (network build, key generation, the first hello
+round) amortises over 6x fewer events in a quick run.  Full profiles
+therefore also record an ``alert_run_quick`` section measured at the
+quick duration; the gate picks the baseline section whose
+``sim_duration_s`` matches the candidate and compares **mean wall
+time** over that identical workload.  When no section matches (older
+baselines), it falls back to per-event cost (``mean_s /
+events_processed``), which is only approximately duration-invariant.
+
+Caveats the threshold absorbs: CI runners are not the machine the
+baseline was recorded on, and a 200-node quick run is ~0.2 s of
+wall-clock, so the gate catches structural regressions (an optimisation
+reverted, an accidental O(n) in the event loop), not single-digit
+percentages.  Skip it on known-slower PRs with the ``skip-perf-gate``
+label (wired in ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _events(run: dict) -> int:
+    events = run.get("events_processed")
+    if not events:
+        raise KeyError(
+            "alert_run has no events_processed; regenerate the report "
+            "with the current benchmarks/bench_perf_core.py"
+        )
+    return events
+
+
+def pick_comparison(baseline: dict, candidate: dict) -> tuple[float, float, str]:
+    """Return (baseline_cost, candidate_cost, label) for the gate.
+
+    Prefers a baseline section recorded at the candidate's simulated
+    duration (identical workload -> compare means); otherwise falls
+    back to per-event cost across mismatched durations.
+    """
+    cand = candidate["timings"]["alert_run"]
+    for key in ("alert_run_quick", "alert_run"):
+        base = baseline["timings"].get(key)
+        if base is None:
+            continue
+        if base.get("sim_duration_s") == cand.get("sim_duration_s"):
+            return base["mean_s"], cand["mean_s"], f"mean_s vs {key}"
+    base = baseline["timings"]["alert_run"]
+    return (
+        base["mean_s"] / _events(base),
+        cand["mean_s"] / _events(cand),
+        "per-event cost (no duration-matched baseline section)",
+    )
+
+
+def check(
+    baseline: dict, candidate: dict, max_regression: float
+) -> tuple[bool, str]:
+    """Compare alert_run costs; returns (ok, human-readable summary)."""
+    base, cand, label = pick_comparison(baseline, candidate)
+    change = cand / base - 1.0
+    summary = (
+        f"alert_run [{label}]: baseline {base * 1e3:.3f} ms, "
+        f"candidate {cand * 1e3:.3f} ms ({change:+.1%}; "
+        f"limit +{max_regression:.0%})"
+    )
+    return change <= max_regression, summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--candidate", type=Path, required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fractional slowdown (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    ok, summary = check(baseline, candidate, args.max_regression)
+    print(summary)
+    if not ok:
+        print("FAIL: alert_run regressed beyond the limit", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def _report(mean_s: float, events: int, duration: float = 60.0, **extra) -> dict:
+    timings = {
+        "alert_run": {
+            "mean_s": mean_s,
+            "events_processed": events,
+            "sim_duration_s": duration,
+        }
+    }
+    timings.update(extra)
+    return {"timings": timings}
+
+
+def test_gate_passes_within_limit():
+    ok, summary = check(
+        _report(1.0, 1000, 10.0), _report(1.17, 1000, 10.0), 0.25
+    )
+    assert ok and "+17.0%" in summary
+
+
+def test_gate_fails_beyond_limit():
+    ok, _ = check(_report(1.0, 1000, 10.0), _report(1.5, 1000, 10.0), 0.25)
+    assert not ok
+
+
+def test_gate_prefers_duration_matched_quick_section():
+    # Full baseline with a quick section: candidate at 10 s must be
+    # compared against alert_run_quick, not the 60 s run's per-event
+    # cost (setup amortisation differs across durations).
+    base = _report(
+        1.8,
+        41000,
+        60.0,
+        alert_run_quick={
+            "mean_s": 0.30,
+            "events_processed": 6800,
+            "sim_duration_s": 10.0,
+        },
+    )
+    ok, summary = check(base, _report(0.33, 6800, 10.0), 0.25)
+    assert ok and "alert_run_quick" in summary
+    ok, _ = check(base, _report(0.50, 6800, 10.0), 0.25)
+    assert not ok
+
+
+def test_gate_falls_back_to_per_event_cost():
+    # No duration-matched section in the baseline: per-event fallback.
+    ok, summary = check(_report(1.8, 41000, 60.0), _report(0.3, 6833, 10.0), 0.25)
+    assert ok and "per-event" in summary
+
+
+def test_gate_main_roundtrip(tmp_path):
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(_report(1.0, 1000, 10.0)))
+    cand.write_text(json.dumps(_report(2.0, 1000, 10.0)))
+    rc = main(["--baseline", str(base), "--candidate", str(cand)])
+    assert rc == 1
+    cand.write_text(json.dumps(_report(1.0, 1000, 10.0)))
+    rc = main(["--baseline", str(base), "--candidate", str(cand)])
+    assert rc == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import AlertConfig
 from repro.core.intersection_defense import (
     HolderState,
@@ -110,6 +112,9 @@ class AlertProtocol(RoutingProtocol):
             else required_partitions(network.n_nodes, self.config.k)
         )
         self._rng = self.engine.rng.stream("alert")
+        #: cost-only crypto: shadow ciphertexts, real cost charges,
+        #: identical RNG draws (see AlertConfig.crypto_mode)
+        self._cost_only = self.config.crypto_mode == "cost-only"
         self._sessions: dict[tuple[int, int], SessionState] = {}
         self._next_session = 1
         #: destination-side unwrapped session keys, by session id
@@ -135,6 +140,7 @@ class AlertProtocol(RoutingProtocol):
             t=self.config.notify_t,
             t0=self.config.notify_t0,
             cover_size_bytes=self.config.cover_size_bytes,
+            cost_only=self._cost_only,
         )
 
     # ------------------------------------------------------------------
@@ -147,7 +153,10 @@ class AlertProtocol(RoutingProtocol):
         record = self.lookup_destination(src, dst)
         key = SymmetricKey.generate(self._rng)
         dest_cipher = PublicKeyCipher.for_encryption(record.public_key)
-        wrapped = dest_cipher.encrypt(key.material)
+        if self._cost_only:
+            wrapped: bytes = dest_cipher.encrypt_cost_only(key.material)
+        else:
+            wrapped = dest_cipher.encrypt(key.material)
         self.cost.pubkey_encrypt()
 
         bounds = self.network.field.bounds
@@ -155,7 +164,11 @@ class AlertProtocol(RoutingProtocol):
         zone_src = destination_zone(
             bounds, src_pos, self.h, self.config.first_direction
         )
-        zone_src_enc = dest_cipher.encrypt(_rect_to_bytes(zone_src))
+        zone_src_bytes = _rect_to_bytes(zone_src)
+        if self._cost_only:
+            zone_src_enc: bytes = dest_cipher.encrypt_cost_only(zone_src_bytes)
+        else:
+            zone_src_enc = dest_cipher.encrypt(zone_src_bytes)
         self.cost.pubkey_encrypt()
 
         zd = destination_zone(
@@ -195,12 +208,20 @@ class AlertProtocol(RoutingProtocol):
         sess.seq += 1
         now = self.engine.now
         data_size = packet.size_bytes
-        plaintext = bytes(
-            int(b) for b in self._rng.integers(0, 256, size=data_size)
+        # .astype/.tobytes consumes the stream exactly like the former
+        # per-byte int() loop (same integers() call), without the loop.
+        plaintext = (
+            self._rng.integers(0, 256, size=data_size)
+            .astype(np.uint8)
+            .tobytes()
         )
         sess.sent_digests[seq] = hashlib.sha256(plaintext).digest()
         nonce = seq.to_bytes(8, "big")
-        ciphertext = SymmetricCipher(sess.key).encrypt(plaintext, nonce)
+        cipher = SymmetricCipher(sess.key)
+        if self._cost_only:
+            ciphertext: bytes = cipher.encrypt_cost_only(plaintext, nonce)
+        else:
+            ciphertext = cipher.encrypt(plaintext, nonce)
         sess.retained[seq] = ciphertext
 
         delay = self.cost.symmetric_encrypt()
@@ -260,21 +281,25 @@ class AlertProtocol(RoutingProtocol):
         # nodes after re-partitioning), but never twice for the same
         # (stage, round, TD) — that would be a genuine loop or a
         # duplicate broadcast fork.
-        td_key = (
-            (round(hdr.td.x, 6), round(hdr.td.y, 6)) if hdr.td is not None else None
-        )
+        td = hdr.td
         key = (
             hdr.session,
             hdr.seq,
             node.id,
-            hdr.ptype,
+            # The enum's value: 1:1 with the member, and its str hash is
+            # cached on the singleton, unlike Enum.__hash__ (pure Python,
+            # re-run per lookup — this key is built for every reception).
+            # ``_value_`` skips the DynamicClassAttribute descriptor.
+            hdr.ptype._value_,
             hdr.zone_stage,
             hdr.rf_rounds,
-            td_key,
+            (round(td.x, 6), round(td.y, 6)) if td is not None else None,
         )
-        if key in self._seen:
+        seen = self._seen
+        before = len(seen)
+        seen.add(key)
+        if len(seen) == before:  # single hash for the probe + insert
             return
-        self._seen.add(key)
         hdr.segment.retries = 0  # fresh hop, fresh link-retry budget
 
         now = self.engine.now
@@ -487,10 +512,12 @@ class AlertProtocol(RoutingProtocol):
         pos = node.position(now)
         center = hdr.zone_dst.center
         my_d = pos.sq_distance_to(center)
+        contains = hdr.zone_dst.contains
+        threshold = my_d - 1e-9
         for e in node.neighbors.live_entries(now):
-            if hdr.zone_dst.contains(e.position):
-                if e.position.sq_distance_to(center) < my_d - 1e-9:
-                    return  # someone more central will do it
+            ep = e.position
+            if contains(ep) and ep.sq_distance_to(center) < threshold:
+                return  # someone more central will do it
         branch = packet.fork()
         branch.header.zone_stage = 2
         self._mark_participant(packet, node.id)
@@ -515,6 +542,7 @@ class AlertProtocol(RoutingProtocol):
                 release.payload,
                 self._sessions_public_key(hdr.session),
                 self._rng,
+                cost_only=self._cost_only,
             )
             self.cost.pubkey_encrypt()
             release.payload = scrambled
@@ -538,7 +566,10 @@ class AlertProtocol(RoutingProtocol):
             int(i) for i in self._rng.choice(members, size=m, replace=False)
         ]
         scrambled, bitmap = scramble_payload(
-            packet.payload, self._sessions_public_key(hdr.session), self._rng
+            packet.payload,
+            self._sessions_public_key(hdr.session),
+            self._rng,
+            cost_only=self._cost_only,
         )
         self.cost.pubkey_encrypt()
         packet.payload = scrambled

@@ -62,6 +62,14 @@ class AlertConfig:
         transmitter, so this costs nothing on the air; it is what lets
         ALERT out-deliver GPSR when the destination has drifted from
         its last known position (Fig. 16b).
+    crypto_mode:
+        ``"real"`` runs the functional ciphers; ``"cost-only"``
+        replaces ciphertext bytes with wire-length-exact
+        :class:`~repro.crypto.cipher.ShadowCiphertext` placeholders
+        while still charging the cost model and drawing the same
+        random numbers, so end-to-end metrics are bit-identical
+        (guarded by a parity test suite) and large sweeps skip the
+        byte crunching.
     """
 
     k: int = 6
@@ -81,8 +89,14 @@ class AlertConfig:
     charge_session_setup: bool = False
     zone_flood: bool = True
     promiscuous_destination: bool = True
+    crypto_mode: str = "real"
 
     def __post_init__(self) -> None:
+        if self.crypto_mode not in ("real", "cost-only"):
+            raise ValueError(
+                f"crypto_mode must be 'real' or 'cost-only', "
+                f"got {self.crypto_mode!r}"
+            )
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if self.h_override is not None and self.h_override < 1:

@@ -20,18 +20,26 @@ import struct
 
 import numpy as np
 
-from repro.crypto.cipher import PublicKeyCipher
+from repro.crypto.cipher import PublicKeyCipher, ShadowCiphertext
 from repro.crypto.keys import KeyPair, PublicKey
 
 
 def apply_bit_flips(payload: bytes, positions: list[int]) -> bytes:
-    """Flip the given bit positions of ``payload`` (involution)."""
+    """Flip the given bit positions of ``payload`` (involution).
+
+    A :class:`ShadowCiphertext` payload (cost-only runs) stays a
+    shadow: its on-air bytes are flipped like any other ciphertext but
+    the carried true plaintext rides along unchanged, exactly as the
+    real destination recovers the real plaintext after unflipping.
+    """
     out = bytearray(payload)
     n_bits = len(out) * 8
     for pos in positions:
         if not 0 <= pos < n_bits:
             raise ValueError(f"bit position {pos} out of range")
         out[pos // 8] ^= 1 << (pos % 8)
+    if isinstance(payload, ShadowCiphertext):
+        return ShadowCiphertext(bytes(out), payload.plaintext)
     return bytes(out)
 
 
@@ -52,8 +60,14 @@ def scramble_payload(
     dest_public: PublicKey,
     rng: np.random.Generator,
     n_flips: int = 8,
+    cost_only: bool = False,
 ) -> tuple[bytes, bytes]:
-    """Flip ``n_flips`` random bits; return (scrambled, encrypted bitmap)."""
+    """Flip ``n_flips`` random bits; return (scrambled, encrypted bitmap).
+
+    ``cost_only`` replaces the RSA bitmap encryption with a
+    wire-length-exact shadow; the flip positions are drawn from ``rng``
+    either way so the random stream stays aligned with real-crypto runs.
+    """
     if not payload:
         return payload, b""
     n_bits = len(payload) * 8
@@ -61,9 +75,11 @@ def scramble_payload(
         int(p) for p in rng.choice(n_bits, size=min(n_flips, n_bits), replace=False)
     )
     scrambled = apply_bit_flips(payload, positions)
-    bitmap_enc = PublicKeyCipher.for_encryption(dest_public).encrypt(
-        encode_bitmap(positions)
-    )
+    cipher = PublicKeyCipher.for_encryption(dest_public)
+    if cost_only:
+        bitmap_enc: bytes = cipher.encrypt_cost_only(encode_bitmap(positions))
+    else:
+        bitmap_enc = cipher.encrypt(encode_bitmap(positions))
     return scrambled, bitmap_enc
 
 

@@ -45,6 +45,10 @@ class NotifyAndGo:
         The back-off window ``[t, t + t0]``.
     cover_size_bytes:
         Size of each neighbor's cover packet.
+    cost_only:
+        Emit wire-length-exact shadow TTL ciphertexts instead of real
+        RSA (see ``AlertConfig.crypto_mode``); back-off and payload
+        draws are unchanged so the random stream stays aligned.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class NotifyAndGo:
         t: float = 0.002,
         t0: float = 0.02,
         cover_size_bytes: int = 16,
+        cost_only: bool = False,
     ) -> None:
         self.network = network
         self.engine = network.engine
@@ -65,6 +70,7 @@ class NotifyAndGo:
         self.t = t
         self.t0 = t0
         self.cover_size_bytes = cover_size_bytes
+        self.cost_only = cost_only
 
     def anonymity_set_size(self, source: Node) -> int:
         """η + 1: the source plus its live neighbors."""
@@ -86,23 +92,36 @@ class NotifyAndGo:
             backoff = float(self._rng.uniform(self.t, self.t + self.t0))
             neighbor_id = entry.link_address
             self.engine.schedule_in(
-                backoff, lambda nid=neighbor_id: self._send_cover(nid)
+                backoff,
+                lambda nid=neighbor_id: self._send_cover(nid),
+                category="control",
+                cancellable=False,
             )
 
         # The source's real packet.
         source_backoff = float(self._rng.uniform(self.t, self.t + self.t0))
-        self.engine.schedule_in(source_backoff, send_real)
+        self.engine.schedule_in(
+            source_backoff, send_real, category="data", cancellable=False
+        )
         return source_backoff
 
     def _send_cover(self, node_id: int) -> None:
         """One neighbor emits a cover packet with an encrypted TTL=0."""
         node = self.network.nodes[node_id]
-        payload = bytes(
-            int(b) for b in self._rng.integers(0, 256, size=self.cover_size_bytes)
+        # .astype/.tobytes consumes the stream exactly like the former
+        # per-byte int() loop (same integers() call), without the loop.
+        payload = (
+            self._rng.integers(0, 256, size=self.cover_size_bytes)
+            .astype(np.uint8)
+            .tobytes()
         )
         # Encrypt TTL=0 under the node's *own* key: no other node will
         # ever find a valid TTL inside, which is the point.
-        ttl_enc = PublicKeyCipher.for_encryption(node.keypair.public).encrypt(b"\x00")
+        cipher = PublicKeyCipher.for_encryption(node.keypair.public)
+        if self.cost_only:
+            ttl_enc: bytes = cipher.encrypt_cost_only(b"\x00")
+        else:
+            ttl_enc = cipher.encrypt(b"\x00")
         self.cost.pubkey_encrypt()
         packet = Packet(
             kind=PacketKind.COVER,

@@ -98,32 +98,19 @@ class AlertHeader:
         broadcast branch, so each receiver can mutate routing state
         (zone stage, bitmap chain, segment) without affecting siblings.
         The mutable ``bitmap_chain`` list and ``segment`` record are
-        copied; everything else is immutable and shared.
+        copied; everything else is immutable and shared.  Built via
+        ``__dict__`` copy rather than the 18-keyword constructor: every
+        broadcast branch pays this, making it one of the hottest
+        allocation sites of a run.
         """
-        return AlertHeader(
-            ptype=self.ptype,
-            p_src=self.p_src,
-            p_dst=self.p_dst,
-            zone_dst=self.zone_dst,
-            zone_src_enc=self.zone_src_enc,
-            td=self.td,
-            h=self.h,
-            h_max=self.h_max,
-            direction=self.direction,
-            wrapped_key=self.wrapped_key,
-            ttl_enc=self.ttl_enc,
-            bitmap_chain=list(self.bitmap_chain),
-            session=self.session,
-            seq=self.seq,
-            segment=SegmentState(
-                ttl=self.segment.ttl,
-                prev_pos=self.segment.prev_pos,
-                retries=self.segment.retries,
-            ),
-            rf_rounds=self.rf_rounds,
-            zone_stage=self.zone_stage,
-            fallback=self.fallback,
-        )
+        new = object.__new__(AlertHeader)
+        d = new.__dict__
+        d.update(self.__dict__)
+        d["bitmap_chain"] = list(self.bitmap_chain)
+        seg = object.__new__(SegmentState)
+        seg.__dict__.update(self.segment.__dict__)
+        d["segment"] = seg
+        return new
 
 
 def header_wire_size(header: AlertHeader, data_bytes: int) -> int:

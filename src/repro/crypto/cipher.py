@@ -21,17 +21,54 @@ class IntegrityError(ValueError):
     """Decryption failed authentication (wrong key or tampered data)."""
 
 
+class ShadowCiphertext(bytes):
+    """Placeholder ciphertext for ``crypto_mode="cost-only"`` runs.
+
+    A real ``bytes`` instance of exactly the wire length the genuine
+    cipher would have produced — packet sizes, MAC timing, and every
+    length-derived metric stay bit-identical — that additionally
+    carries the true plaintext so correct-key decryption can restore
+    it without doing any modular arithmetic.  The crypto *time* is
+    still charged through the cost model by the caller; only the byte
+    crunching is skipped.
+
+    Construct with either an ``int`` (zero bytes of that wire length)
+    or existing content bytes (e.g. after bit-flip scrambling).
+    """
+
+    plaintext: bytes
+
+    def __new__(
+        cls, content: int | bytes, plaintext: bytes
+    ) -> "ShadowCiphertext":
+        self = super().__new__(cls, content)
+        self.plaintext = plaintext
+        return self
+
+    def __getnewargs__(self) -> tuple[bytes, bytes]:
+        # Packets deepcopy their headers on fork; rebuild with both
+        # constructor arguments (plain bytes only carries itself).
+        return (bytes(self), self.plaintext)
+
+
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
-    """SHA-256 counter-mode keystream of ``length`` bytes."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        block = hashlib.sha256(
-            key + nonce + counter.to_bytes(8, "big")
-        ).digest()
-        out.extend(block)
-        counter += 1
-    return bytes(out[:length])
+    """SHA-256 counter-mode keystream of exactly ``length`` bytes."""
+    if length <= 0:
+        return b""
+    prefix = key + nonce
+    blocks = b"".join(
+        hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+        for counter in range((length + 31) // 32)
+    )
+    return blocks[:length] if len(blocks) != length else blocks
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings via one big-int operation."""
+    n = len(a)
+    return (
+        int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    ).to_bytes(n, "big")
 
 
 class SymmetricCipher:
@@ -50,12 +87,22 @@ class SymmetricCipher:
         if len(nonce) != self.NONCE_LEN:
             raise ValueError(f"nonce must be {self.NONCE_LEN} bytes")
         stream = _keystream(self._key, nonce, len(plaintext))
-        ct = bytes(a ^ b for a, b in zip(plaintext, stream))
+        ct = _xor(plaintext, stream)
         tag = hmac.new(self._key, nonce + ct, hashlib.sha256).digest()[:_TAG_LEN]
         return nonce + ct + tag
 
+    def encrypt_cost_only(self, plaintext: bytes, nonce: bytes) -> ShadowCiphertext:
+        """Wire-length-exact placeholder for :meth:`encrypt`."""
+        if len(nonce) != self.NONCE_LEN:
+            raise ValueError(f"nonce must be {self.NONCE_LEN} bytes")
+        return ShadowCiphertext(
+            self.NONCE_LEN + len(plaintext) + _TAG_LEN, plaintext
+        )
+
     def decrypt(self, blob: bytes) -> bytes:
         """Decrypt and authenticate; raises :class:`IntegrityError`."""
+        if isinstance(blob, ShadowCiphertext):
+            return blob.plaintext
         if len(blob) < self.NONCE_LEN + _TAG_LEN:
             raise IntegrityError("ciphertext too short")
         nonce = blob[: self.NONCE_LEN]
@@ -65,7 +112,7 @@ class SymmetricCipher:
         if not hmac.compare_digest(tag, expect):
             raise IntegrityError("authentication tag mismatch")
         stream = _keystream(self._key, nonce, len(ct))
-        return bytes(a ^ b for a, b in zip(ct, stream))
+        return _xor(ct, stream)
 
 
 class PublicKeyCipher:
@@ -96,6 +143,17 @@ class PublicKeyCipher:
         return cls(keypair.public, keypair)
 
     # -- encryption ------------------------------------------------------
+    def ciphertext_length(self, plaintext_len: int) -> int:
+        """Wire length :meth:`encrypt` produces for a plaintext length."""
+        blocks = -(-plaintext_len // self._chunk) if plaintext_len else 1
+        return blocks * self._block
+
+    def encrypt_cost_only(self, plaintext: bytes) -> ShadowCiphertext:
+        """Wire-length-exact placeholder for :meth:`encrypt`."""
+        return ShadowCiphertext(
+            self.ciphertext_length(len(plaintext)), plaintext
+        )
+
     def encrypt(self, plaintext: bytes) -> bytes:
         """RSA-encrypt ``plaintext`` (any length) for the public key."""
         out = bytearray()
@@ -118,6 +176,8 @@ class PublicKeyCipher:
         """Decrypt with the private key; requires owner construction."""
         if self._keypair is None:
             raise PermissionError("no private key available")
+        if isinstance(ciphertext, ShadowCiphertext):
+            return ciphertext.plaintext
         if len(ciphertext) % self._block:
             raise IntegrityError("ciphertext not block-aligned")
         priv = self._keypair.private

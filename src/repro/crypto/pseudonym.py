@@ -71,6 +71,9 @@ class PseudonymManager:
         self._rng = rng
         self._current: Pseudonym | None = None
         self._history: list[Pseudonym] = []
+        # Every digest this node ever issued, for O(1) ``was_ours`` —
+        # the destination runs that check on every data delivery.
+        self._digests: set[bytes] = set()
 
     def current(self, now: float) -> Pseudonym:
         """The valid pseudonym at ``now``, rotating if expired."""
@@ -89,6 +92,7 @@ class PseudonymManager:
         )
         self._current = pseudonym
         self._history.append(pseudonym)
+        self._digests.add(digest)
 
     def rotations(self) -> int:
         """How many pseudonyms have been issued so far."""
@@ -100,4 +104,4 @@ class PseudonymManager:
         Real protocol code never calls this — it models the *node's own*
         knowledge, which adversaries do not have.
         """
-        return any(p.digest == digest for p in self._history)
+        return digest in self._digests

@@ -1,0 +1,82 @@
+"""Opt-in cProfile instrumentation for simulation runs.
+
+Set ``REPRO_PROFILE=1`` and any driver that wraps its runs in
+:func:`maybe_profile` dumps a top-N cumulative-time table to stderr
+when the block exits::
+
+    REPRO_PROFILE=1 PYTHONPATH=src python benchmarks/bench_perf_core.py --quick
+
+``benchmarks/bench_profile.py`` is the dedicated driver: it profiles a
+single configurable end-to-end run and can save the raw ``pstats``
+file for flame-graph viewers.
+
+Interpretation caveat: cProfile charges a fixed cost per Python call,
+which inflates call-heavy functions (small per-event helpers here) by
+roughly 2x relative to their un-profiled wall clock.  Treat the table
+as *relative attribution* — which layers dominate and how they shift
+after a change — and use the un-profiled benchmark timings in
+``BENCH_perf.json`` for absolute numbers.
+
+Environment variables:
+
+``REPRO_PROFILE``
+    Truthy (anything but ``""`` or ``"0"``) enables :func:`maybe_profile`.
+``REPRO_PROFILE_TOP``
+    Rows to print (default 30).
+``REPRO_PROFILE_SORT``
+    ``pstats`` sort key (default ``cumulative``; e.g. ``tottime``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def profile_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for profiled runs."""
+    return os.environ.get("REPRO_PROFILE", "0") not in ("", "0")
+
+
+def format_stats(
+    prof: cProfile.Profile, top: int = 30, sort: str = "cumulative"
+) -> str:
+    """Render a profile as a top-``top`` table sorted by ``sort``."""
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return buf.getvalue()
+
+
+@contextmanager
+def maybe_profile(
+    label: str = "run",
+    top: int | None = None,
+    sort: str | None = None,
+    stream=None,
+) -> Iterator[cProfile.Profile | None]:
+    """Profile the enclosed block iff ``REPRO_PROFILE`` is set.
+
+    Yields the active :class:`cProfile.Profile` (or ``None`` when
+    disabled) and prints the formatted table on exit, so callers can
+    sprinkle this around hot sections with zero cost by default.
+    """
+    if not profile_enabled():
+        yield None
+        return
+    top = top if top is not None else int(os.environ.get("REPRO_PROFILE_TOP", "30"))
+    sort = sort or os.environ.get("REPRO_PROFILE_SORT", "cumulative")
+    out = stream if stream is not None else sys.stderr
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield prof
+    finally:
+        prof.disable()
+        print(f"== REPRO_PROFILE: {label} ==", file=out)
+        print(format_stats(prof, top=top, sort=sort), file=out)

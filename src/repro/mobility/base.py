@@ -300,12 +300,25 @@ class Trajectory:
         segments = self._segments
         if not segments:
             return self._origin
-        # Fast path: the segment that answered the previous query.
+        # Fast path: the segment that answered the previous query, with
+        # the interpolation inlined — this answers nearly every lookup
+        # of a run, so the extra Segment.at frame is worth eliding.
         i = self._last_idx
         if i < len(segments):
             seg = segments[i]
-            if seg.t0 <= t <= seg.t1:
-                return seg.at(t)
+            t0 = seg.t0
+            t1 = seg.t1
+            if t0 <= t <= t1:
+                if t1 <= t0:
+                    return seg.start
+                u = (t - t0) / (t1 - t0)
+                u = min(max(u, 0.0), 1.0)
+                start = seg.start
+                end = seg.end
+                return Point(
+                    start.x + (end.x - start.x) * u,
+                    start.y + (end.y - start.y) * u,
+                )
         if t <= segments[0].t0:
             return segments[0].start
         i = bisect.bisect_left(self._ends, t)

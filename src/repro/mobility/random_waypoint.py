@@ -87,8 +87,10 @@ class RandomWaypoint(MobilityModel):
 
     def position(self, t: float) -> Point:
         """Exact position at time ``t``."""
-        self._traj.ensure(t, self._extend)
-        return self._traj.at(t)
+        traj = self._traj
+        if traj.horizon < t:
+            traj.ensure(t, self._extend)
+        return traj.at(t)
 
     def position_xy(self, t: float) -> tuple[float, float]:
         """Position at ``t`` without the Point allocation of the result."""

@@ -19,6 +19,7 @@ the identity).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.crypto.keys import PublicKey
 from repro.geometry.primitives import Point
@@ -50,23 +51,62 @@ class NeighborTable:
             raise ValueError(f"ttl must be positive, got {ttl!r}")
         self.ttl = ttl
         self._entries: dict[int, NeighborEntry] = {}
+        # Address-sorted row cache, invalidated on any write.  Routing
+        # decisions call ``live_entries`` far more often than beacons
+        # rewrite the table, so the sort must not rerun per decision.
+        self._sorted: list[NeighborEntry] | None = None
 
     def update(self, entry: NeighborEntry) -> None:
         """Insert or refresh the row for ``entry.link_address``."""
         self._entries[entry.link_address] = entry
+        self._sorted = None
+
+    def bulk_update(self, entries: Iterable[NeighborEntry]) -> None:
+        """Insert or refresh many rows with one cache invalidation.
+
+        The hello round hands every receiver its in-range transmitters'
+        shared per-round rows through this path.
+        """
+        table = self._entries
+        for entry in entries:
+            table[entry.link_address] = entry
+        self._sorted = None
+
+    def ingest_shared(
+        self,
+        entries: list[NeighborEntry],
+        idx: list[int],
+        lo: int,
+        hi: int,
+        base: int,
+    ) -> None:
+        """Store rows ``entries[base + t] for t in idx[lo:hi]``.
+
+        The vectorised hello round hands every receiver a slice of one
+        shared per-round index list; taking the slice bounds here (one
+        method call per receiver, no intermediate row list) keeps the
+        ingest loop allocation-free.  Equivalent to ``bulk_update`` over
+        the same rows.
+        """
+        table = self._entries
+        for t in idx[lo:hi]:
+            e = entries[base + t]
+            table[e.link_address] = e
+        self._sorted = None
 
     def remove(self, link_address: int) -> None:
         """Drop a row (e.g., after repeated link-layer failures)."""
-        self._entries.pop(link_address, None)
+        if self._entries.pop(link_address, None) is not None:
+            self._sorted = None
 
     def live_entries(self, now: float) -> list[NeighborEntry]:
         """All non-expired rows, sorted by link address (deterministic)."""
+        rows = self._sorted
+        if rows is None:
+            rows = [e for _, e in sorted(self._entries.items())]
+            self._sorted = rows
         cutoff = now - self.ttl
-        return [
-            e
-            for addr, e in sorted(self._entries.items())
-            if e.last_seen >= cutoff
-        ]
+        return [e for e in rows if e.last_seen >= cutoff]
 
     def get(self, link_address: int, now: float) -> NeighborEntry | None:
         """The live row for ``link_address``, or ``None``."""
@@ -81,6 +121,8 @@ class NeighborTable:
         dead = [a for a, e in self._entries.items() if e.last_seen < cutoff]
         for a in dead:
             del self._entries[a]
+        if dead:
+            self._sorted = None
         return len(dead)
 
     def __len__(self) -> int:

@@ -15,6 +15,7 @@ ALARM, AO2P) is built from these.
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from typing import Callable, Sequence
 
 import numpy as np
@@ -27,13 +28,23 @@ from repro.mobility.base import MobilityModel, SnapshotInterpolator
 from repro.net.mac import Mac80211Dcf, MacOutcome
 from repro.net.neighbor_table import NeighborEntry
 from repro.net.node import Node
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketKind
 from repro.net.radio import RadioModel
 from repro.sim.engine import Engine
 from repro.sim.process import PeriodicTask
 
 #: Called after every link-layer exchange: (flow_id, attempts, success).
 TxListener = Callable[[int | None, int, bool], None]
+
+#: Peak element budget for one chunk of the batched hello-round
+#: pairwise in-range matrix (chunk_rows × n_nodes); 256k float64
+#: pairs keeps the per-chunk scratch around 4 MB.
+_PAIR_CHUNK_ELEMS = 262_144
+
+
+def _event_category(packet: Packet) -> str:
+    """Engine event-counter category for a frame delivery."""
+    return "data" if packet.kind is PacketKind.DATA else "control"
 
 
 class Network:
@@ -337,16 +348,21 @@ class Network:
         if self.tx_listener is not None:
             self.tx_listener(flow, outcome.attempts, outcome.success)
 
+        category = _event_category(packet)
         if outcome.success:
             def _deliver() -> None:
                 receiver.deliver(packet)
                 if on_delivered is not None:
                     on_delivered(receiver)
 
-            self.engine.schedule_in(outcome.delay_s, _deliver)
+            self.engine.schedule_in(
+                outcome.delay_s, _deliver,
+                category=category, cancellable=False,
+            )
         elif on_failed is not None:
             self.engine.schedule_in(
-                outcome.delay_s, lambda r=reason: on_failed(r)
+                outcome.delay_s, lambda r=reason: on_failed(r),
+                category=category, cancellable=False,
             )
 
         if overhear_fork is not None:
@@ -359,6 +375,8 @@ class Network:
                     self.engine.schedule_in(
                         outcome.delay_s,
                         lambda n=listener, p=prepared: n.deliver(p),
+                        category=_event_category(prepared),
+                        cancellable=False,
                     )
 
     def local_broadcast(
@@ -402,16 +420,31 @@ class Network:
             allowed = set(restrict_to)
             receivers = [r for r in receivers if r in allowed]
 
+        category = _event_category(packet)
+        t_deliver = now + outcome.delay_s
+        schedule = self.engine.schedule_at
+        if on_delivered is None:
+            # Fast lane for the dominant fire-and-forget fan-out: a
+            # bound-method partial per receiver instead of a closure.
+            for rid in receivers:
+                schedule(
+                    t_deliver,
+                    partial(self.nodes[rid].deliver, packet.fork()),
+                    category=category, cancellable=False,
+                )
+            return receivers
         for rid in receivers:
             node = self.nodes[rid]
             branch = packet.fork()
 
             def _deliver(n: Node = node, p: Packet = branch) -> None:
                 n.deliver(p)
-                if on_delivered is not None:
-                    on_delivered(n, p)
+                on_delivered(n, p)
 
-            self.engine.schedule_in(outcome.delay_s, _deliver)
+            schedule(
+                t_deliver, _deliver,
+                category=category, cancellable=False,
+            )
         return receivers
 
     # ------------------------------------------------------------------
@@ -438,11 +471,96 @@ class Network:
             jitter=0.1 * self.hello_interval,
             rng=rng,
             start_offset=offset,
+            category="hello",
         )
         self._hello_tasks.append(task)
 
     def _emit_hello_round(self) -> None:
-        """One beacon round: every live node advertises to its neighbors."""
+        """One beacon round: every live node advertises to its neighbors.
+
+        Batched: per-transmitter state (counters, the shared
+        :class:`NeighborEntry`) is still built in ascending node order —
+        pseudonym fuzz and trajectory extension draw from each node's
+        private stream in exactly the scalar sequence, with the snapshot
+        refreshed after the first transmitter's entry, where the scalar
+        path's ``neighbors_of`` would refresh it — but the in-range
+        test runs as one pairwise array pass instead of one grid query
+        per transmitter, and receiver tables ingest each round's rows
+        through :meth:`NeighborTable.bulk_update`.  The pairwise test
+        repeats ``GridIndex.query_radius``'s arithmetic over the full
+        snapshot (the grid's candidate set is a superset filtered by
+        this exact predicate), so the accepted pairs — and therefore
+        every metric — are bit-identical to the scalar round, kept
+        alongside as :meth:`_emit_hello_round_scalar`.
+        """
+        now = self.engine.now
+        nodes = self.nodes
+        active = self.active_mask()
+        tx_ids = np.flatnonzero(active)
+        n_tx = int(tx_ids.size)
+        if n_tx == 0:
+            return
+        hello_air = self.radio.tx_time(self.hello_size_bytes)
+        entries: list[NeighborEntry] = []
+        centers = np.empty((n_tx, 2), dtype=np.float64)
+        snap_pos: np.ndarray | None = None
+        for k in range(n_tx):
+            i = int(tx_ids[k])
+            node = nodes[i]
+            self.hello_tx += 1
+            node.tx_count += 1
+            self.airtime_tx_s += hello_air
+            entry = NeighborEntry(
+                link_address=i,
+                pseudonym=node.pseudonym_at(now),
+                position=node.position(now),
+                public_key=node.keypair.public,
+                last_seen=now,
+            )
+            entries.append(entry)
+            p = entry.position
+            centers[k, 0] = p.x
+            centers[k, 1] = p.y
+            if snap_pos is None:
+                snap_pos, _ = self.snapshot()
+        r = self.radio.range_m
+        r2 = r * r
+        chunk = max(1, _PAIR_CHUNK_ELEMS // max(len(nodes), 1))
+        sx = snap_pos[:, 0][:, None]
+        sy = snap_pos[:, 1][:, None]
+        for s in range(0, n_tx, chunk):
+            e = min(s + chunk, n_tx)
+            # Receiver-major (n_nodes, chunk) masks from 2D temporaries:
+            # dx*dx + dy*dy is the same two-term sum as the reference
+            # (d * d).sum(axis=-1) — identical accepted pairs — without
+            # materialising a 3D difference array.
+            dx = sx - centers[s:e, 0]
+            dy = sy - centers[s:e, 1]
+            dx *= dx
+            dy *= dy
+            dx += dy
+            in_range = dx <= r2
+            in_range &= active[:, None]
+            in_range[tx_ids[s:e], np.arange(e - s)] = False
+            counts = in_range.sum(axis=0)
+            for k in range(e - s):
+                self.airtime_rx_s += hello_air * int(counts[k])
+            # Receiver-major nonzero: the pair list arrives grouped by
+            # receiver, so each table ingests its transmitters as one
+            # contiguous slice — no per-pair Python dispatch.
+            rxs, txs = np.nonzero(in_range)
+            if rxs.size == 0:
+                continue
+            bounds = np.flatnonzero(np.diff(rxs)) + 1
+            txl = txs.tolist()
+            rxl = rxs.tolist()
+            a = 0
+            for b in bounds.tolist() + [len(txl)]:
+                nodes[rxl[a]].neighbors.ingest_shared(entries, txl, a, b, s)
+                a = b
+
+    def _emit_hello_round_scalar(self) -> None:
+        """Reference scalar round (kept for parity tests/benchmarks)."""
         for node in self.nodes:
             if node.active:
                 self._emit_hello(node)

@@ -73,6 +73,11 @@ class Node:
         #: False once the node is disabled/compromised (DoS experiments);
         #: inactive nodes neither beacon, relay, nor acknowledge frames.
         self.active = True
+        # Last (t, Point) answered by position(): forwarding decisions
+        # ask for several positions at the same event time, and Point
+        # is frozen, so replaying the previous answer is free and safe.
+        self._pos_at: float = -1.0
+        self._pos_cache: Point | None = None
 
     def fail(self) -> None:
         """Disable the node (compromise / battery death)."""
@@ -92,7 +97,12 @@ class Node:
 
     def position(self, t: float) -> Point:
         """True position at time ``t`` (substrate/oracle use only)."""
-        return self.mobility.position(t)
+        if t == self._pos_at:
+            return self._pos_cache
+        p = self.mobility.position(t)
+        self._pos_at = t
+        self._pos_cache = p
+        return p
 
     def pseudonym_at(self, t: float) -> bytes:
         """The node's valid pseudonym digest at ``t``."""

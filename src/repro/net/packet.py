@@ -103,21 +103,18 @@ class Packet:
         (retry counters, TTLs, zone stages); sharing one header object
         across branches would let one receiver corrupt its siblings.
         """
-        if "header" in overrides:
-            header = overrides["header"]
-        else:
-            header = clone_header(self.header)
-        clone = Packet(
-            kind=overrides.get("kind", self.kind),
-            src=overrides.get("src", self.src),
-            dst=overrides.get("dst", self.dst),
-            size_bytes=overrides.get("size_bytes", self.size_bytes),
-            header=header,
-            payload=overrides.get("payload", self.payload),
-            created_at=overrides.get("created_at", self.created_at),
-            flow_id=overrides.get("flow_id", self.flow_id),
-        )
-        clone.trace = list(self.trace)
-        clone.transmissions = self.transmissions
-        clone.crypto_delay = self.crypto_delay
+        clone = object.__new__(Packet)
+        d = clone.__dict__
+        d.update(self.__dict__)
+        if overrides:
+            d.update(overrides)
+        if "header" not in overrides:
+            # clone_header, inlined: fan-out runs this per receiver.
+            h = self.header
+            if h is not None:
+                method = getattr(h, "clone", None)
+                h = method() if method is not None else copy.deepcopy(h)
+            d["header"] = h
+        d["uid"] = next(_packet_ids)
+        d["trace"] = list(self.trace)
         return clone

@@ -96,7 +96,9 @@ class RoutingProtocol(ABC):
         """Charge ``delay`` seconds of crypto processing, then run ``fn``."""
         packet.crypto_delay += delay
         if delay > 0:
-            self.engine.schedule_in(delay, fn)
+            self.engine.schedule_in(
+                delay, fn, category="control", cancellable=False
+            )
         else:
             fn()
 

@@ -5,15 +5,35 @@ of named random streams.  It is intentionally callback-based (like the
 NS-2 scheduler the paper's evaluation ran on) rather than
 coroutine-based: protocol state machines in this repository react to
 packet-arrival events, so callbacks map directly onto the domain.
+
+Performance notes
+-----------------
+The heap stores plain ``(time, priority, seq, fn, category, event)``
+tuples rather than :class:`~repro.sim.events.Event` objects, so every
+sift comparison is a C-level tuple comparison (``seq`` is unique, so
+the trailing non-comparable fields are never reached).  ``run`` inlines
+the pop loop instead of re-checking the head and delegating to
+:meth:`step` per event.  Callers that never cancel an event — packet
+deliveries, which dominate the schedule — pass ``cancellable=False``
+and skip the :class:`Event`/:class:`EventHandle` allocations entirely.
+Cancelled events are counted live, making :meth:`pending` O(1), and
+the heap is compacted once more than half of it is dead so
+cancellation-heavy workloads (retransmit timers) cannot grow it
+unboundedly.
 """
 
 from __future__ import annotations
 
 import heapq
+from math import isfinite
 from typing import Any, Callable
 
 from repro.sim.events import Event, EventHandle
 from repro.sim.rng import RngRegistry
+
+#: Compaction threshold: dead entries tolerated before a rebuild is
+#: even considered (amortises tiny heaps away).
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -40,13 +60,19 @@ class Engine:
 
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
-        self._heap: list[Event] = []
+        # Heap of (time, priority, seq, fn, category, Event | None).
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        self._n_cancelled: int = 0
         self.rng = RngRegistry(seed)
         #: number of events processed so far (diagnostic)
         self.events_processed: int = 0
+        #: processed events by category ("hello" / "data" / "control" /
+        #: "timer" / "other") — cheap per-run profile of where the
+        #: event budget goes, surfaced through ``RunResult.event_counts``.
+        self.event_counts: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # clock
@@ -60,33 +86,85 @@ class Engine:
     # scheduling
     # ------------------------------------------------------------------
     def schedule_at(
-        self, time: float, fn: Callable[[], Any], priority: int = 0
-    ) -> EventHandle:
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        category: str = "other",
+        cancellable: bool = True,
+    ) -> EventHandle | None:
         """Schedule ``fn`` to run at absolute time ``time``.
+
+        ``category`` tags the event for :attr:`event_counts`.  With
+        ``cancellable=False`` no handle is created (and ``None`` is
+        returned) — the fast lane for fire-and-forget events like frame
+        deliveries, which saves two allocations per event on the
+        dominant schedule path.
 
         Raises
         ------
         SimulationError
             If ``time`` is in the past or not finite.
         """
-        if time != time or time in (float("inf"), float("-inf")):
+        if not isfinite(time):
             raise SimulationError(f"non-finite event time {time!r}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f} < now={self._now:.6f}"
             )
-        ev = Event(time=time, priority=priority, seq=self._seq, fn=fn)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
-        return EventHandle(ev)
+        seq = self._seq
+        self._seq = seq + 1
+        if not cancellable:
+            heapq.heappush(self._heap, (time, priority, seq, fn, category, None))
+            return None
+        ev = Event(time=time, priority=priority, seq=seq, fn=fn)
+        heapq.heappush(self._heap, (time, priority, seq, fn, category, ev))
+        return EventHandle(ev, self)
 
     def schedule_in(
-        self, delay: float, fn: Callable[[], Any], priority: int = 0
-    ) -> EventHandle:
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        category: str = "other",
+        cancellable: bool = True,
+    ) -> EventHandle | None:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, fn, priority=priority)
+        return self.schedule_at(
+            self._now + delay,
+            fn,
+            priority=priority,
+            category=category,
+            cancellable=cancellable,
+        )
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An ``EventHandle`` cancelled a queued event (O(1) amortised).
+
+        Keeps :meth:`pending` O(1) and compacts the heap when more than
+        half of it is dead, so workloads that cancel most of what they
+        schedule (retransmit timers under good link conditions) hold
+        the heap at O(live events) instead of growing it unboundedly.
+        """
+        self._n_cancelled += 1
+        if (
+            self._n_cancelled > _COMPACT_MIN
+            and 2 * self._n_cancelled > len(self._heap)
+        ):
+            # In place: ``run`` holds a local alias to the heap list.
+            heap = self._heap
+            heap[:] = [
+                entry
+                for entry in heap
+                if entry[5] is None or not entry[5].cancelled
+            ]
+            heapq.heapify(heap)
+            self._n_cancelled = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -100,13 +178,19 @@ class Engine:
             ``True`` if an event was processed, ``False`` if the queue
             was empty (clock unchanged).
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
+        heap = self._heap
+        counts = self.event_counts
+        while heap:
+            time_, _, _, fn, category, ev = heapq.heappop(heap)
+            if ev is not None:
+                if ev.cancelled:
+                    self._n_cancelled -= 1
+                    continue
+                ev.fired = True
+            self._now = time_
             self.events_processed += 1
-            ev.fn()
+            counts[category] = counts.get(category, 0) + 1
+            fn()
             return True
         return False
 
@@ -118,15 +202,27 @@ class Engine:
         """
         self._stopped = False
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        counts = self.event_counts
         try:
-            while self._heap and not self._stopped:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
+            while heap and not self._stopped:
+                entry = heap[0]
+                time_ = entry[0]
+                if until is not None and time_ > until:
                     break
-                self.step()
+                pop(heap)
+                ev = entry[5]
+                if ev is not None:
+                    if ev.cancelled:
+                        self._n_cancelled -= 1
+                        continue
+                    ev.fired = True
+                self._now = time_
+                self.events_processed += 1
+                category = entry[4]
+                counts[category] = counts.get(category, 0) + 1
+                entry[3]()
         finally:
             self._running = False
         if until is not None and not self._stopped and until > self._now:
@@ -140,8 +236,8 @@ class Engine:
     # introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._n_cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

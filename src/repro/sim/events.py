@@ -33,19 +33,24 @@ class Event:
     seq: int
     fn: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by ``Engine.schedule*`` allowing cancellation.
 
     Cancellation is lazy: the event stays on the heap but is skipped
-    when popped, which is O(1) and avoids heap surgery.
+    when popped, which is O(1) and avoids heap surgery.  The owning
+    engine (when given) is told about each cancellation so it can keep
+    a live dead-entry count — that makes ``Engine.pending()`` O(1) and
+    lets the engine compact the heap when mostly dead.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, engine=None) -> None:
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -58,8 +63,17 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        """Prevent the event from firing (idempotent).
+
+        A no-op once the event has fired: nothing is left on the heap
+        to skip, so counting it as dead would corrupt the engine's live
+        pending count."""
+        ev = self._event
+        if ev.cancelled or ev.fired:
+            return
+        ev.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"

@@ -36,7 +36,9 @@ class Timer:
     def start(self, delay: float) -> None:
         """(Re)arm the timer ``delay`` seconds from now."""
         self.cancel()
-        self._handle = self._engine.schedule_in(delay, self._fire)
+        self._handle = self._engine.schedule_in(
+            delay, self._fire, category="timer"
+        )
 
     def cancel(self) -> None:
         """Disarm the timer if pending (idempotent)."""
@@ -68,6 +70,9 @@ class PeriodicTask:
         Random stream used for jitter; required when ``jitter > 0``.
     start_offset:
         Delay before the first tick (default: one full interval).
+    category:
+        Event-counter category the ticks are booked under (see
+        ``Engine.event_counts``); defaults to ``"timer"``.
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class PeriodicTask:
         jitter: float = 0.0,
         rng: np.random.Generator | None = None,
         start_offset: float | None = None,
+        category: str = "timer",
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval!r}")
@@ -88,11 +94,14 @@ class PeriodicTask:
         self._fn = fn
         self._jitter = jitter
         self._rng = rng
+        self._category = category
         self._handle: EventHandle | None = None
         self._stopped = False
         self.ticks = 0
         first = interval if start_offset is None else start_offset
-        self._handle = engine.schedule_in(self._displace(first), self._tick)
+        self._handle = engine.schedule_in(
+            self._displace(first), self._tick, category=category
+        )
 
     def _displace(self, base: float) -> float:
         if self._jitter <= 0:
@@ -108,7 +117,8 @@ class PeriodicTask:
         self._fn()
         if not self._stopped:
             self._handle = self._engine.schedule_in(
-                self._displace(self._interval), self._tick
+                self._displace(self._interval), self._tick,
+                category=self._category,
             )
 
     def stop(self) -> None:

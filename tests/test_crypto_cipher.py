@@ -137,3 +137,50 @@ class TestHybrid:
         wrapped, ct = hybrid_encrypt(KP.public, KEY, b"payload", NONCE)
         with pytest.raises((IntegrityError, ValueError)):
             hybrid_decrypt(other, wrapped, ct)
+
+
+class TestShadowCiphertext:
+    """Cost-only placeholders must be wire-compatible with real output."""
+
+    @given(pt=st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_shadow_length_matches_real(self, pt):
+        c = SymmetricCipher(KEY)
+        assert len(c.encrypt_cost_only(pt, NONCE)) == len(c.encrypt(pt, NONCE))
+
+    @given(pt=st.binary(max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_pubkey_shadow_length_matches_real(self, pt):
+        c = PublicKeyCipher.for_encryption(KP.public)
+        shadow = c.encrypt_cost_only(pt)
+        assert len(shadow) == len(c.encrypt(pt))
+        assert len(shadow) == c.ciphertext_length(len(pt))
+
+    @given(pt=st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_shadow_decrypts_to_plaintext(self, pt):
+        sym = SymmetricCipher(KEY)
+        assert sym.decrypt(sym.encrypt_cost_only(pt, NONCE)) == pt
+        pub = PublicKeyCipher.for_owner(KP)
+        assert pub.decrypt(pub.encrypt_cost_only(pt)) == pt
+
+    def test_shadow_survives_deepcopy(self):
+        import copy
+
+        from repro.crypto.cipher import ShadowCiphertext
+
+        s = SymmetricCipher(KEY).encrypt_cost_only(b"secret", NONCE)
+        clone = copy.deepcopy(s)
+        assert isinstance(clone, ShadowCiphertext)
+        assert bytes(clone) == bytes(s)
+        assert clone.plaintext == b"secret"
+
+    def test_shadow_bytes_are_zero_filled(self):
+        s = SymmetricCipher(KEY).encrypt_cost_only(b"abc", NONCE)
+        assert set(bytes(s)) == {0}
+
+    def test_pubkey_shadow_decrypt_requires_private_key(self):
+        enc_only = PublicKeyCipher.for_encryption(KP.public)
+        shadow = enc_only.encrypt_cost_only(b"x")
+        with pytest.raises(PermissionError):
+            enc_only.decrypt(shadow)

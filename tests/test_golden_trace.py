@@ -1,0 +1,147 @@
+"""Golden-trace determinism suite for the per-run simulation kernel.
+
+``tests/data/golden_traces.json`` records three seeded end-to-end runs
+(ALERT/RWP, GPSR/RWP, ALERT/RPGM with every defense on) captured on the
+pre-optimization kernel.  The optimized engine, vectorized hello
+rounds, and crypto fast path must reproduce every metric — including
+``events_processed`` and float airtimes via ``repr`` — bit for bit.
+
+The cost-only crypto mode has its own parity contract: the same runs
+with ``crypto_mode="cost-only"`` must match the *real-crypto* golden
+numbers exactly, because the protocol never acts on ciphertext bytes
+that a shadow cannot reproduce (lengths and carried plaintexts cover
+every inspection point).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, run_experiment
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
+
+GOLDEN_CONFIGS = {
+    "alert_rwp": ExperimentConfig(
+        protocol="ALERT", n_nodes=100, duration=20.0, n_pairs=5, seed=1
+    ),
+    "gpsr_rwp": ExperimentConfig(
+        protocol="GPSR", n_nodes=100, duration=20.0, n_pairs=5, seed=2
+    ),
+    "alert_group_defended": ExperimentConfig(
+        protocol="ALERT",
+        n_nodes=80,
+        duration=15.0,
+        n_pairs=4,
+        seed=3,
+        mobility="group",
+        n_groups=8,
+        group_range=150.0,
+        alert_options={
+            "intersection_defense": True,
+            "notify_and_go": True,
+            "enable_confirmation": True,
+        },
+    ),
+}
+
+
+def trace_summary(result: RunResult) -> dict:
+    """The comparison record: every end-to-end observable, floats via
+    ``repr`` so the comparison is bit-exact, not approximate."""
+    m = result.metrics
+    return {
+        "events_processed": result.engine.events_processed,
+        "packets_sent": m.packets_sent,
+        "delivery_rate": repr(result.delivery_rate),
+        "mean_latency": repr(result.mean_latency),
+        "mean_hops": repr(result.mean_hops),
+        "mean_rf_count": repr(result.mean_rf_count),
+        "hello_tx": result.network.hello_tx,
+        "unicast_tx": result.network.unicast_tx,
+        "broadcast_tx": result.network.broadcast_tx,
+        "airtime_tx_s": repr(result.network.airtime_tx_s),
+        "airtime_rx_s": repr(result.network.airtime_rx_s),
+        "counters": {k: repr(v) for k, v in sorted(m.counters.items())},
+    }
+
+
+def load_golden() -> dict:
+    with GOLDEN_PATH.open() as f:
+        return json.load(f)
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+    def test_kernel_reproduces_golden_trace(self, name):
+        golden = load_golden()[name]
+        got = trace_summary(run_experiment(GOLDEN_CONFIGS[name]))
+        assert got == golden
+
+    def test_event_counts_cover_all_processed_events(self):
+        result = run_experiment(GOLDEN_CONFIGS["alert_rwp"])
+        counts = result.event_counts
+        assert sum(counts.values()) == result.engine.events_processed
+        assert counts.get("hello", 0) > 0
+        assert counts.get("data", 0) > 0
+
+
+class TestCostOnlyParity:
+    @pytest.mark.parametrize(
+        "name", ["alert_rwp", "alert_group_defended"]
+    )
+    def test_cost_only_matches_real_golden(self, name):
+        cfg = GOLDEN_CONFIGS[name]
+        co = cfg.with_(
+            alert_options={**cfg.alert_options, "crypto_mode": "cost-only"}
+        )
+        assert trace_summary(run_experiment(co)) == load_golden()[name]
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        defense=st.booleans(),
+        notify=st.booleans(),
+        confirm=st.booleans(),
+        packet_size=st.sampled_from([64, 512]),
+    )
+    def test_cost_only_parity_property(
+        self, seed, defense, notify, confirm, packet_size
+    ):
+        """Random small configs: cost-only == real on every observable."""
+        base = ExperimentConfig(
+            protocol="ALERT",
+            n_nodes=30,
+            field_size=600.0,
+            duration=5.0,
+            n_pairs=2,
+            seed=seed,
+            packet_size=packet_size,
+            alert_options={
+                "intersection_defense": defense,
+                "notify_and_go": notify,
+                "enable_confirmation": confirm,
+            },
+        )
+        real = run_experiment(base)
+        cost_only = run_experiment(
+            base.with_(
+                alert_options={
+                    **base.alert_options,
+                    "crypto_mode": "cost-only",
+                }
+            )
+        )
+        assert trace_summary(cost_only) == trace_summary(real)
+        assert cost_only.event_counts == real.event_counts
+        assert cost_only.cost.charges == real.cost.charges

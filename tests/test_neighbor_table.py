@@ -69,3 +69,54 @@ class TestNeighborTable:
         t.update(entry(addr=1))
         t.update(entry(addr=2))
         assert len(t) == 2
+
+
+class TestSortedCache:
+    def test_repeated_reads_reuse_sorted_rows(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=3, t=1.0))
+        t.update(entry(addr=1, t=1.0))
+        t.live_entries(now=1.0)
+        cached = t._sorted
+        assert cached is not None
+        t.live_entries(now=2.0)
+        assert t._sorted is cached
+
+    def test_update_invalidates_cache(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=1, t=1.0))
+        t.live_entries(now=1.0)
+        t.update(entry(addr=2, t=1.0))
+        assert t._sorted is None
+        assert [e.link_address for e in t.live_entries(now=1.0)] == [1, 2]
+
+    def test_bulk_update_matches_repeated_update(self):
+        a = NeighborTable(ttl=3.0)
+        b = NeighborTable(ttl=3.0)
+        rows = [entry(addr=i, t=float(i % 3)) for i in (5, 2, 9, 2)]
+        for r in rows:
+            a.update(r)
+        b.bulk_update(rows)
+        assert a.live_entries(now=3.0) == b.live_entries(now=3.0)
+        assert len(a) == len(b) == 3
+
+    def test_remove_missing_keeps_cache(self):
+        t = NeighborTable(ttl=3.0)
+        t.update(entry(addr=1, t=1.0))
+        t.live_entries(now=1.0)
+        cached = t._sorted
+        t.remove(42)
+        assert t._sorted is cached
+
+    def test_purge_invalidates_only_when_rows_die(self):
+        t = NeighborTable(ttl=1.0)
+        t.update(entry(addr=1, t=10.0))
+        t.live_entries(now=10.0)
+        cached = t._sorted
+        assert t.purge(now=10.0) == 0
+        assert t._sorted is cached
+        t.update(entry(addr=2, t=0.0))
+        t.live_entries(now=10.0)
+        assert t.purge(now=10.0) == 1
+        assert t._sorted is None
+        assert [e.link_address for e in t.live_entries(now=10.0)] == [1]

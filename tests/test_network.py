@@ -218,3 +218,40 @@ class TestHello:
         net.engine.schedule_in(5.0, lambda: None)
         net.engine.run()
         assert net.hello_tx == count
+
+
+class TestHelloRoundParity:
+    """The vectorized round must match the scalar reference exactly."""
+
+    @pytest.mark.parametrize("static", [True, False])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_vectorized_matches_scalar(self, static, seed):
+        vec = build_network(seed=seed, static=static)
+        ref = build_network(seed=seed, static=static)
+        for net in (vec, ref):
+            net.engine.schedule_in(0.7, lambda: None)
+            net.engine.run()
+        vec._emit_hello_round()
+        ref._emit_hello_round_scalar()
+        assert vec.hello_tx == ref.hello_tx
+        assert vec.airtime_tx_s == ref.airtime_tx_s
+        assert vec.airtime_rx_s == ref.airtime_rx_s
+        now = vec.engine.now
+        for a, b in zip(vec.nodes, ref.nodes):
+            assert a.tx_count == b.tx_count
+            assert a.neighbors.live_entries(now) == b.neighbors.live_entries(now)
+
+    def test_parity_with_dead_nodes(self):
+        vec = build_network(seed=4, static=True)
+        ref = build_network(seed=4, static=True)
+        for net in (vec, ref):
+            for nid in (0, 7, 13):
+                net.nodes[nid].fail()
+        vec._emit_hello_round()
+        ref._emit_hello_round_scalar()
+        assert vec.hello_tx == ref.hello_tx
+        now = vec.engine.now
+        for a, b in zip(vec.nodes, ref.nodes):
+            assert a.neighbors.live_entries(now) == b.neighbors.live_entries(now)
+        # dead nodes never transmit
+        assert vec.nodes[0].tx_count == 0

@@ -164,3 +164,55 @@ class TestCancellation:
         eng = Engine()
         h = eng.schedule_at(3.25, lambda: None)
         assert h.time == 3.25
+
+    def test_cancel_heavy_workload_keeps_heap_bounded(self):
+        # Schedule/cancel far more events than the compaction threshold:
+        # the heap must stay O(live events), not O(all ever scheduled).
+        eng = Engine()
+        keep = [eng.schedule_at(100.0, lambda: None) for _ in range(10)]
+        for _ in range(20):
+            batch = [eng.schedule_at(50.0, lambda: None) for _ in range(100)]
+            for h in batch:
+                h.cancel()
+        assert eng.pending() == 10
+        assert len(eng._heap) < 300
+        hits = []
+        for h in keep:
+            assert not h.cancelled
+        eng.schedule_at(100.0, lambda: hits.append(eng.now))
+        eng.run()
+        assert hits == [100.0]
+        assert eng.pending() == 0
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        eng = Engine()
+        h = eng.schedule_at(1.0, lambda: None)
+        eng.run()
+        h.cancel()  # no-op: already fired
+        assert eng.pending() == 0
+
+
+class TestCategories:
+    def test_non_cancellable_returns_none_and_fires(self):
+        eng = Engine()
+        hits = []
+        assert eng.schedule_at(1.0, lambda: hits.append(1), cancellable=False) is None
+        eng.run()
+        assert hits == [1]
+
+    def test_event_counts_by_category(self):
+        eng = Engine()
+        eng.schedule_at(1.0, lambda: None, category="hello")
+        eng.schedule_at(2.0, lambda: None, category="data", cancellable=False)
+        eng.schedule_at(3.0, lambda: None, category="data")
+        eng.schedule_at(4.0, lambda: None)
+        eng.run()
+        assert eng.event_counts == {"hello": 1, "data": 2, "other": 1}
+
+    def test_cancelled_events_not_counted(self):
+        eng = Engine()
+        h = eng.schedule_at(1.0, lambda: None, category="timer")
+        h.cancel()
+        eng.run()
+        assert eng.event_counts == {}
+        assert eng.events_processed == 0
