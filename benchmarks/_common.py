@@ -42,6 +42,23 @@ def paper_config(**overrides) -> ExperimentConfig:
     return ExperimentConfig(**base)
 
 
+def event_rate(events: int, wall_s: float) -> float:
+    """Processed engine events per wall-clock second.
+
+    The one throughput definition every perf driver shares — reports
+    mixing events/s with its reciprocal (s/event, µs/event) are easy to
+    misread across sections, so drivers record both but always derive
+    them through here (``event_rate`` and ``1e6 / event_rate``).
+    """
+    return events / wall_s if wall_s > 0 else float("nan")
+
+
+def us_per_event(events: int, wall_s: float) -> float:
+    """Mean wall-clock microseconds per processed engine event."""
+    rate = event_rate(events, wall_s)
+    return 1e6 / rate if rate > 0 else float("nan")
+
+
 def sweep_progress(label: str, total: int):
     """Streaming ``on_result`` callback for a sweep of ``total`` seeds.
 

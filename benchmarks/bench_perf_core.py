@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _common import event_rate, us_per_event
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     Cell,
@@ -245,13 +246,19 @@ def bench_alert_run(duration: float, reps: int = 3) -> dict[str, float]:
         run_experiment(cost_cfg)
         cost_only.append(time.perf_counter() - t0)
 
+    mean_s = float(np.mean(real))
+    events = result.engine.events_processed
     out: dict[str, float] = {
-        "mean_s": float(np.mean(real)),
+        "mean_s": mean_s,
         "min_s": float(np.min(real)),
         "reps": reps,
         "n_nodes": cfg.n_nodes,
         "sim_duration_s": duration,
-        "events_processed": result.engine.events_processed,
+        "events_processed": events,
+        # Throughput via the shared helpers so every driver derives
+        # events/s and µs/event the same way (see benchmarks/_common).
+        "events_per_s": event_rate(events, mean_s),
+        "us_per_event": us_per_event(events, mean_s),
         "event_counts": {
             k: int(v) for k, v in sorted(result.event_counts.items())
         },
@@ -408,15 +415,22 @@ def bench_sweep_ipc(
             shm.close()
             shm.unlink()
 
+    pickle_t = _timeit(pickle_transport, reps)
+    shm_t = _timeit(shm_transport, reps)
     out: dict[str, float] = {
         "cells": n_cells,
         "seeds": len(payloads),
-        "pickle_ipc_mean_s": _timeit(pickle_transport, reps)["mean_s"],
-        "shm_ipc_mean_s": _timeit(shm_transport, reps)["mean_s"],
+        "pickle_ipc_mean_s": pickle_t["mean_s"],
+        "shm_ipc_mean_s": shm_t["mean_s"],
+        "pickle_ipc_min_s": pickle_t["min_s"],
+        "shm_ipc_min_s": shm_t["min_s"],
     }
+    # Best-of-reps: the shm path's segment create/unlink syscalls jitter
+    # wildly on loaded hosts (noise is strictly additive), so the mean
+    # ratio swings 1–9x rep to rep while the min ratio is stable.
     out["speedup"] = (
-        out["pickle_ipc_mean_s"] / out["shm_ipc_mean_s"]
-        if out["shm_ipc_mean_s"] > 0
+        out["pickle_ipc_min_s"] / out["shm_ipc_min_s"]
+        if out["shm_ipc_min_s"] > 0
         else float("nan")
     )
 
@@ -483,8 +497,11 @@ def run_harness(quick: bool = False, sweep: bool = True) -> dict:
         # falling back to per-event cost only for older baselines.
         report["timings"]["alert_run_quick"] = bench_alert_run(10.0, reps=2)
     if sweep:
+        # The env-resolved (CPU-clamped) worker count: forcing a wide
+        # pool onto a small host just measured contention (a 4-worker
+        # pool on 1 CPU ran the sweep *slower* than serial).
         report["timings"]["sweep"] = bench_sweep(
-            workers=worker_count() if worker_count() > 1 else 4,
+            workers=worker_count(),
             duration=5.0 if quick else 20.0,
             runs=1 if quick else 2,
         )
@@ -509,6 +526,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     report = run_harness(quick=args.quick, sweep=not args.no_sweep)
+    if args.out.exists():
+        # Preserve sections owned by other harnesses (bench_scale.py's
+        # `scale`) instead of dropping them on a core-only rerun.
+        report = {**json.loads(args.out.read_text()), **report}
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(json.dumps(report["timings"], indent=2, sort_keys=True))

@@ -18,6 +18,12 @@ time** over that identical workload.  When no section matches (older
 baselines), it falls back to per-event cost (``mean_s /
 events_processed``), which is only approximately duration-invariant.
 
+A second gate covers the ``scale`` section written by
+``benchmarks/bench_scale.py``: CI's ``--quick`` run records one N=1000
+point at the same config and duration as the committed baseline's, so
+the gate compares ``loop_mean_s`` directly.  Reports that predate the
+scale harness skip this gate instead of failing it.
+
 Caveats the threshold absorbs: CI runners are not the machine the
 baseline was recorded on, and a 200-node quick run is ~0.2 s of
 wall-clock, so the gate catches structural regressions (an optimisation
@@ -80,6 +86,36 @@ def check(
     return change <= max_regression, summary
 
 
+def check_scale(
+    baseline: dict, candidate: dict, max_regression: float
+) -> tuple[bool, str]:
+    """Gate the N=1000 scale point's event-loop cost.
+
+    ``bench_scale.py --quick`` and the committed full profile both run
+    the same config (seed, field, pairs) at the same simulated
+    duration, so ``loop_mean_s`` is directly comparable — no
+    amortisation caveat.  If either report predates the scale harness,
+    the gate is skipped rather than failed so older baselines don't
+    block CI.
+    """
+    base = (baseline.get("scale") or {}).get("n1000")
+    cand = (candidate.get("scale") or {}).get("n1000")
+    if base is None or cand is None:
+        return True, "scale n1000: skipped (section missing from a report)"
+    if base.get("sim_duration_s") == cand.get("sim_duration_s"):
+        b, c = base["loop_mean_s"], cand["loop_mean_s"]
+        label = "loop_mean_s"
+    else:
+        b, c = base["us_per_event"], cand["us_per_event"]
+        label = "us_per_event (duration mismatch)"
+    change = c / b - 1.0
+    summary = (
+        f"scale n1000 [{label}]: baseline {b:.4g}, candidate {c:.4g} "
+        f"({change:+.1%}; limit +{max_regression:.0%})"
+    )
+    return change <= max_regression, summary
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True)
@@ -93,10 +129,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text())
     candidate = json.loads(args.candidate.read_text())
-    ok, summary = check(baseline, candidate, args.max_regression)
-    print(summary)
-    if not ok:
-        print("FAIL: alert_run regressed beyond the limit", file=sys.stderr)
+    failed = False
+    for gate in (check, check_scale):
+        ok, summary = gate(baseline, candidate, args.max_regression)
+        print(summary)
+        if not ok:
+            failed = True
+    if failed:
+        print("FAIL: regression beyond the limit", file=sys.stderr)
         return 1
     print("OK")
     return 0
@@ -150,6 +190,49 @@ def test_gate_falls_back_to_per_event_cost():
     # No duration-matched section in the baseline: per-event fallback.
     ok, summary = check(_report(1.8, 41000, 60.0), _report(0.3, 6833, 10.0), 0.25)
     assert ok and "per-event" in summary
+
+
+def _scale_report(loop_s: float, events: int = 50000, duration: float = 10.0) -> dict:
+    report = _report(1.0, 1000, 10.0)
+    report["scale"] = {
+        "n1000": {
+            "loop_mean_s": loop_s,
+            "events_processed": events,
+            "sim_duration_s": duration,
+            "us_per_event": loop_s / events * 1e6,
+        }
+    }
+    return report
+
+
+def test_scale_gate_compares_loop_means():
+    ok, summary = check_scale(_scale_report(5.0), _scale_report(5.8), 0.25)
+    assert ok and "loop_mean_s" in summary
+    ok, _ = check_scale(_scale_report(5.0), _scale_report(7.0), 0.25)
+    assert not ok
+
+
+def test_scale_gate_falls_back_on_duration_mismatch():
+    base = _scale_report(30.0, events=300000, duration=60.0)
+    cand = _scale_report(5.2, events=50000, duration=10.0)
+    ok, summary = check_scale(base, cand, 0.25)
+    assert ok and "duration mismatch" in summary
+
+
+def test_scale_gate_skips_when_section_missing():
+    ok, summary = check_scale(
+        _report(1.0, 1000, 10.0), _scale_report(5.0), 0.25
+    )
+    assert ok and "skipped" in summary
+
+
+def test_main_fails_on_scale_regression(tmp_path):
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(_scale_report(5.0)))
+    cand.write_text(json.dumps(_scale_report(9.0)))  # alert_run unchanged
+    rc = main(["--baseline", str(base), "--candidate", str(cand)])
+    assert rc == 1
 
 
 def test_gate_main_roundtrip(tmp_path):

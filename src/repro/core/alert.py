@@ -51,7 +51,7 @@ from repro.geometry.primitives import Point, Rect
 from repro.net.node import Node
 from repro.net.packet import Packet, PacketKind
 from repro.routing.base import RoutingProtocol
-from repro.routing.gpsr import next_hop_greedy
+from repro.routing.gpsr import next_hop_greedy_batched
 from repro.sim.process import Timer
 
 
@@ -379,8 +379,7 @@ class AlertProtocol(RoutingProtocol):
             return
         now = self.engine.now
         pos = node.position(now)
-        entries = node.neighbors.live_entries(now)
-        choice = next_hop_greedy(pos, hdr.td, entries)
+        choice = next_hop_greedy_batched(pos, hdr.td, node.neighbors, now)
 
         if choice is None:
             if hdr.fallback:
@@ -470,8 +469,9 @@ class AlertProtocol(RoutingProtocol):
         )
         if not covers:
             center = hdr.zone_dst.center
-            entries = node.neighbors.live_entries(now)
-            choice = next_hop_greedy(pos, center, entries)
+            choice = next_hop_greedy_batched(
+                pos, center, node.neighbors, now
+            )
             if choice is not None and hdr.zone_dst.contains(choice.position):
                 hdr.td = center
                 self._mark_participant(packet, node.id)

@@ -29,10 +29,23 @@ Robustness semantics:
 * every degradation to the serial path is logged (never silent).
 
 Workers are selected via the ``REPRO_WORKERS`` environment variable
-(default ``os.cpu_count()``); ``REPRO_WORKERS=1`` forces the serial
-fallback.  Work items whose config or metric cannot be pickled (e.g. a
-lambda metric) run serially — parallelism is an optimisation, never a
+(default ``os.cpu_count()``, and clamped to it: more workers than
+cores is pure contention); ``REPRO_WORKERS=1`` forces the serial
+fallback.  Small env-resolved sweeps also run serially — below
+``_SPAWN_BREAKEVEN`` seeds a cold pool's spawn cost exceeds any
+parallel win (an explicit ``workers=`` argument is always honored).
+Work items whose config or metric cannot be pickled (e.g. a lambda
+metric) run serially — parallelism is an optimisation, never a
 behavioural requirement.
+
+Besides the result buffer, the parallel path shares *input* position
+arrays: cells that repeat one mobility signature (same seed, node
+count, field, and mobility parameters — e.g. a protocol comparison at
+fixed density) get their t=0 deployment computed once in the parent
+(:func:`repro.experiments.runner.initial_positions_for`) and mapped
+read-only into every worker, which passes it to
+``run_experiment(initial_positions=...)`` to pre-seed the spatial
+index.  Results are identical with or without the sharing.
 """
 
 from __future__ import annotations
@@ -54,11 +67,17 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     RunResult,
     default_runs,
+    initial_positions_for,
     run_experiment,
     seed_for_run,
 )
 
 log = logging.getLogger(__name__)
+
+#: Below this many seeds, an env-resolved sweep on a cold pool runs
+#: serially: spawning workers costs more wall clock than the sweep
+#: itself (the measured break-even sits around 8 small runs).
+_SPAWN_BREAKEVEN = 8
 
 #: Metric extractors usually return a float, but any picklable value
 #: (e.g. a per-packet series) crosses the process boundary fine.
@@ -68,17 +87,39 @@ MetricFn = Callable[[RunResult], Any]
 OnResult = Callable[[int, int, Any], None]
 
 
+#: One-shot flag for the over-subscription clamp notice.
+_warned_worker_clamp = False
+
+
 def worker_count() -> int:
-    """Worker processes to use: ``REPRO_WORKERS`` or ``os.cpu_count()``."""
+    """Worker processes to use: ``REPRO_WORKERS`` or ``os.cpu_count()``.
+
+    The env value is clamped to the machine's core count — a pool
+    wider than the CPU only adds contention and spawn cost (observed
+    as sweeps running *slower* than serial on small hosts).  Explicit
+    ``workers=`` arguments bypass this resolver and stay honored.
+    """
+    global _warned_worker_clamp
+    cpus = os.cpu_count() or 1
     env = os.environ.get("REPRO_WORKERS")
     if env:
         try:
-            return max(1, int(env))
+            requested = max(1, int(env))
         except ValueError:
             raise ValueError(
                 f"REPRO_WORKERS must be an integer, got {env!r}"
             ) from None
-    return os.cpu_count() or 1
+        if requested > cpus:
+            if not _warned_worker_clamp:
+                _warned_worker_clamp = True
+                log.warning(
+                    "REPRO_WORKERS=%d exceeds the %d available core(s); "
+                    "clamping to %d",
+                    requested, cpus, cpus,
+                )
+            return cpus
+        return requested
+    return cpus
 
 
 @dataclass(frozen=True)
@@ -115,11 +156,19 @@ _IN_SHM = ("__repro_in_shm__",)
 _worker_shm: dict[str, shared_memory.SharedMemory] = {}
 
 
-def _attach_result_buffer(name: str) -> shared_memory.SharedMemory:
-    shm = _worker_shm.get(name)
+#: Worker-process cache of the currently attached *position* segment,
+#: kept separate from the result-buffer cache: both segments are live
+#: during one sweep, and either cache evicts only its own stale names.
+_worker_pos_shm: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_segment(
+    cache: dict[str, shared_memory.SharedMemory], name: str
+) -> shared_memory.SharedMemory:
+    shm = cache.get(name)
     if shm is None:
-        for stale in list(_worker_shm):
-            _worker_shm.pop(stale).close()
+        for stale in list(cache):
+            cache.pop(stale).close()
         # Attaching re-registers the name with the resource tracker;
         # under the fork start method workers share the parent's
         # tracker, so that is a set-add no-op and the parent's unlink
@@ -127,21 +176,58 @@ def _attach_result_buffer(name: str) -> shared_memory.SharedMemory:
         # this explicit; until then, don't unregister here — doing so
         # would race the owning parent's own unregistration.)
         shm = shared_memory.SharedMemory(name=name)
-        _worker_shm[name] = shm
+        cache[name] = shm
     return shm
+
+
+def _attach_result_buffer(name: str) -> shared_memory.SharedMemory:
+    return _attach_segment(_worker_shm, name)
+
+
+def _shared_positions(pos_ref: tuple | None) -> np.ndarray | None:
+    """Read-only view of a shared t=0 deployment, or ``None``.
+
+    ``pos_ref`` is ``(segment_name, byte_offset, n_nodes)``.  Any
+    attach failure degrades to ``None`` — the worker then derives the
+    deployment itself during network construction, which is slower but
+    bit-identical.
+    """
+    if pos_ref is None:
+        return None
+    name, offset, n = pos_ref
+    try:
+        shm = _attach_segment(_worker_pos_shm, name)
+        view = np.ndarray(
+            (n, 2), dtype=np.float64, buffer=shm.buf, offset=offset
+        )
+    except (OSError, ValueError) as exc:
+        log.warning(
+            "shared position segment unavailable (%s); "
+            "recomputing deployment in-worker", exc,
+        )
+        return None
+    view.flags.writeable = False
+    return view
 
 
 def _run_seed(payload: tuple) -> Any:
     """Worker entry point: one seeded simulation → one metric value.
 
-    ``payload`` is ``(slot, shm_name, cfg, metric, max_packets)``.
+    ``payload`` is ``(slot, shm_name, cfg, metric, max_packets)`` with
+    an optional trailing ``pos_ref`` naming this config's shared t=0
+    deployment (see :meth:`SweepExecutor._build_position_segment`).
     Exact-``float`` values are written into slot ``slot`` of the shared
     float64 buffer and only a tag crosses the pickle boundary; anything
     else (ints, series, None) returns by pickle so the caller sees the
     identical object the serial path would produce.
     """
-    slot, shm_name, cfg, metric, max_packets_per_pair = payload
-    result = run_experiment(cfg, max_packets_per_pair=max_packets_per_pair)
+    slot, shm_name, cfg, metric, max_packets_per_pair = payload[:5]
+    pos_ref = payload[5] if len(payload) > 5 else None
+    result = run_experiment(
+        cfg,
+        max_packets_per_pair=max_packets_per_pair,
+        initial_positions=_shared_positions(pos_ref),
+    )
     value = metric(result)
     if shm_name is not None and type(value) is float:
         shm = _attach_result_buffer(shm_name)
@@ -301,6 +387,22 @@ class SweepExecutor:
 
         values: list[Any] = [_PENDING] * len(payloads)
         width = min(self.workers, len(payloads)) if payloads else 1
+        if (
+            width > 1
+            and self._workers_arg is None
+            and self._pool is None
+            and len(payloads) < _SPAWN_BREAKEVEN
+        ):
+            # Too little work to amortise a cold pool spawn.  Only the
+            # env-resolved default degrades: an explicit ``workers=``
+            # argument is a deliberate choice (and what the tests use
+            # to force the pool on any host), and a warm pool has
+            # already paid its spawn cost.
+            self._warn_serial(
+                f"{len(payloads)} seed(s) is below the ~{_SPAWN_BREAKEVEN}"
+                "-seed break-even for spawning a worker pool"
+            )
+            width = 1
         if width <= 1:
             self._run_serial(payloads, coords, values, on_result)
         elif not all(_picklable(p) for p in _representative_payloads(payloads)):
@@ -362,12 +464,14 @@ class SweepExecutor:
                     exc,
                 )
                 shm = None
+        pos_shm, pos_refs = self._build_position_segment(payloads)
         try:
             retries = 0
             while True:
                 try:
                     self._drain_pool(
-                        payloads, coords, values, width, shm, buf, on_result
+                        payloads, coords, values, width, shm, buf,
+                        pos_refs, on_result,
                     )
                     return
                 except BrokenProcessPool:
@@ -389,6 +493,70 @@ class SweepExecutor:
                 buf = None  # release the numpy view before closing
                 shm.close()
                 shm.unlink()
+            if pos_shm is not None:
+                pos_shm.close()
+                pos_shm.unlink()
+
+    def _build_position_segment(
+        self, payloads: Sequence[tuple]
+    ) -> tuple[shared_memory.SharedMemory | None, list[tuple | None] | None]:
+        """Shared t=0 deployments for configs that repeat a mobility seed.
+
+        Groups the payloads by *mobility signature* — the config fields
+        that fully determine the t=0 deployment draws (seed, node
+        count, field size, mobility model and its parameters).  Every
+        signature shared by at least two payloads gets its deployment
+        computed once (:func:`initial_positions_for`) and packed into
+        one shared-memory segment; the returned ``pos_refs`` list maps
+        each payload slot to its ``(name, byte_offset, n_nodes)``
+        reference (``None`` where nothing is shared — a deployment used
+        once is cheapest computed where it is used).
+
+        Closes ROADMAP's "share the position arrays too" item: sweep
+        shapes like protocol comparisons at a fixed density hand every
+        co-seeded worker the same read-only array instead of having
+        each one re-derive it.
+        """
+        if not self.use_shared_memory:
+            return None, None
+        sig_slots: dict[tuple, list[int]] = {}
+        for slot, p in enumerate(payloads):
+            cfg = p[2]
+            sig = (
+                cfg.seed, cfg.n_nodes, cfg.field_size, cfg.mobility,
+                cfg.speed, cfg.n_groups, cfg.group_range,
+            )
+            sig_slots.setdefault(sig, []).append(slot)
+        shared = {s: sl for s, sl in sig_slots.items() if len(sl) >= 2}
+        if not shared:
+            return None, None
+        arrays = [
+            initial_positions_for(payloads[slots[0]][2])
+            for slots in shared.values()
+        ]
+        try:
+            pos_shm = shared_memory.SharedMemory(
+                create=True, size=sum(a.nbytes for a in arrays)
+            )
+        except (OSError, ValueError) as exc:
+            log.warning(
+                "shared-memory position segment unavailable (%s); "
+                "workers will derive deployments themselves", exc,
+            )
+            return None, None
+        pos_refs: list[tuple | None] = [None] * len(payloads)
+        offset = 0
+        for arr, slots in zip(arrays, shared.values()):
+            dst = np.ndarray(
+                arr.shape, dtype=np.float64, buffer=pos_shm.buf,
+                offset=offset,
+            )
+            dst[:] = arr
+            ref = (pos_shm.name, offset, arr.shape[0])
+            for slot in slots:
+                pos_refs[slot] = ref
+            offset += arr.nbytes
+        return pos_shm, pos_refs
 
     def _drain_pool(
         self,
@@ -398,6 +566,7 @@ class SweepExecutor:
         width: int,
         shm: shared_memory.SharedMemory | None,
         buf: np.ndarray | None,
+        pos_refs: Sequence[tuple | None] | None,
         on_result: OnResult | None,
     ) -> None:
         """Submit every still-pending payload and stream completions."""
@@ -407,7 +576,8 @@ class SweepExecutor:
         for slot, payload in enumerate(payloads):
             if values[slot] is not _PENDING:
                 continue
-            wire = (slot, shm_name, *payload[2:])
+            pos_ref = pos_refs[slot] if pos_refs is not None else None
+            wire = (slot, shm_name, *payload[2:], pos_ref)
             futures[pool.submit(_run_seed, wire)] = slot
         try:
             for fut in as_completed(futures):

@@ -293,6 +293,57 @@ class GridIndex:
         cy = int(np.floor(y / self.cell_size))
         return self._gather_cells(cx - reach, cy - reach, cx + reach, cy + reach)
 
+    def grouped_candidates(
+        self, points: np.ndarray, radius: float
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched candidate gathering for many radius queries.
+
+        Groups the query ``points`` (an ``(M, 2)`` array) by the grid
+        cell they fall in and returns one ``(query_indices,
+        candidate_indices)`` pair per occupied query cell.  Queries in
+        one cell share their candidate gather — the cells overlapping
+        the disk bounding box, exactly what :meth:`query_radius` would
+        collect for each of them individually — so a caller that
+        filters the pairwise distances per group reproduces ``M``
+        independent ``query_radius`` calls with ~one gather per
+        *occupied cell* instead of one per query, and the pairwise
+        arithmetic shrinks from ``M × N`` to ``M × candidates``.
+
+        Candidate indices are **unfiltered** (superset within the cell
+        neighborhood); the caller applies the exact distance predicate.
+        Query indices within a group ascend (stable grouping).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must be (M, 2), got {pts.shape}")
+        m = pts.shape[0]
+        if m == 0:
+            return []
+        reach = int(np.ceil(radius / self.cell_size))
+        cells = np.floor(pts / self.cell_size).astype(np.int64)
+        cx = cells[:, 0]
+        cy = cells[:, 1]
+        # Injective cell key: dense row-major rank over the queries'
+        # own bounding box (same construction as the bucket keys).
+        cy_lo = cy.min()
+        stride = np.int64(cy.max() - cy_lo + 1)
+        keys = cx * stride + (cy - cy_lo)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [m]))
+        groups: list[tuple[np.ndarray, np.ndarray]] = []
+        for s, e in zip(starts, ends):
+            q = order[s:e]
+            qx = int(cx[q[0]])
+            qy = int(cy[q[0]])
+            cand = self._gather_cells(
+                qx - reach, qy - reach, qx + reach, qy + reach
+            )
+            groups.append((q, cand))
+        return groups
+
     def query_radius(self, x: float, y: float, radius: float) -> np.ndarray:
         """Indices of all nodes within ``radius`` of ``(x, y)``.
 

@@ -69,6 +69,25 @@ class LocationServer:
         else:
             self.writes += 1
 
+    def store_many(
+        self, records: dict[int, LocationRecord], home_count: int
+    ) -> None:
+        """Bulk write one update round's records (no-op while failed).
+
+        Equivalent to calling :meth:`store` for every record — same
+        resulting table, same counter totals — but the table merge is a
+        single C-level ``dict.update``.  ``home_count`` of the records
+        are writes from this server's own nodes; the rest arrived via
+        peer replication.  The aliveness check holds for the whole
+        batch because a round is one simulation event — no server can
+        fail or restore in the middle of it.
+        """
+        if not self._alive:
+            return
+        self._records.update(records)
+        self.writes += home_count
+        self.replications += len(records) - home_count
+
     def fetch(self, node_id: int) -> LocationRecord | None:
         """Read a record; ``None`` if absent or the server is down."""
         if not self._alive:

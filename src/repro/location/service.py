@@ -84,34 +84,42 @@ class LocationService:
         return self.servers[node_id % len(self.servers)]
 
     def _register_all(self) -> None:
+        self._write_round()
+
+    def _push_updates(self) -> None:
+        self._write_round()
+
+    def _write_round(self) -> None:
+        """Write every node's current record to every server.
+
+        One update round is ``N`` records fanned out to ``N_L``
+        replicas — ``N·N_L`` stores, the service's dominant cost at
+        large ``N``.  Records are built once (same per-node
+        ``position(now)`` calls, in the same node order, as the scalar
+        :meth:`_write` loop — identical RNG draws) and each server
+        merges the round in one :meth:`LocationServer.store_many` call.
+        Resulting tables and write/replication counter totals are
+        identical to per-record stores; only the per-call dispatch is
+        gone.
+        """
         now = self.network.engine.now
-        for node in self.network.nodes:
-            record = LocationRecord(
+        records = {
+            node.id: LocationRecord(
                 node_id=node.id,
                 position=node.position(now),
                 public_key=node.keypair.public,
                 updated_at=now,
             )
-            self._write(record)
-
-    def _write(self, record: LocationRecord) -> None:
-        home = self._home_server(record.node_id)
-        home.store(record)
+            for node in self.network.nodes
+        }
+        n_servers = len(self.servers)
+        n = len(records)
+        # Node i homes at server i % N_L, so server s owns ceil/floor
+        # counts of the contiguous id range.
+        base, extra = divmod(n, n_servers)
         for server in self.servers:
-            if server is not home:
-                server.store(record, replicated=True)
-
-    def _push_updates(self) -> None:
-        now = self.network.engine.now
-        for node in self.network.nodes:
-            self._write(
-                LocationRecord(
-                    node_id=node.id,
-                    position=node.position(now),
-                    public_key=node.keypair.public,
-                    updated_at=now,
-                )
-            )
+            home_count = base + (1 if server.id < extra else 0)
+            server.store_many(records, home_count)
 
     # ------------------------------------------------------------------
     def lookup(self, requester_id: int, target_id: int) -> LocationRecord:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from repro.crypto.keys import PublicKey
 from repro.geometry.primitives import Point
 
@@ -55,11 +57,15 @@ class NeighborTable:
         # decisions call ``live_entries`` far more often than beacons
         # rewrite the table, so the sort must not rerun per decision.
         self._sorted: list[NeighborEntry] | None = None
+        # Column view of the sorted rows (positions, last-seen) for the
+        # batched forwarding path; rebuilt lazily alongside ``_sorted``.
+        self._columns: tuple | None = None
 
     def update(self, entry: NeighborEntry) -> None:
         """Insert or refresh the row for ``entry.link_address``."""
         self._entries[entry.link_address] = entry
         self._sorted = None
+        self._columns = None
 
     def bulk_update(self, entries: Iterable[NeighborEntry]) -> None:
         """Insert or refresh many rows with one cache invalidation.
@@ -71,6 +77,7 @@ class NeighborTable:
         for entry in entries:
             table[entry.link_address] = entry
         self._sorted = None
+        self._columns = None
 
     def ingest_shared(
         self,
@@ -93,11 +100,13 @@ class NeighborTable:
             e = entries[base + t]
             table[e.link_address] = e
         self._sorted = None
+        self._columns = None
 
     def remove(self, link_address: int) -> None:
         """Drop a row (e.g., after repeated link-layer failures)."""
         if self._entries.pop(link_address, None) is not None:
             self._sorted = None
+            self._columns = None
 
     def live_entries(self, now: float) -> list[NeighborEntry]:
         """All non-expired rows, sorted by link address (deterministic)."""
@@ -107,6 +116,30 @@ class NeighborTable:
             self._sorted = rows
         cutoff = now - self.ttl
         return [e for e in rows if e.last_seen >= cutoff]
+
+    def columns(self) -> tuple[list[NeighborEntry], np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows, xs, ys, last_seen)`` over *all* rows, address-sorted.
+
+        The arrays are aligned with ``rows`` and cached between writes,
+        so the batched forwarding path (see
+        :func:`repro.routing.gpsr.next_hop_greedy_batched`) can compute
+        distances for a whole neighborhood in one vector pass instead
+        of touching each row's ``Point``.  Liveness is *not* applied
+        here — callers mask with ``last_seen >= now - ttl``, which is
+        exactly :meth:`live_entries`'s cutoff predicate.
+        """
+        cols = self._columns
+        if cols is None or self._sorted is None:
+            rows = self._sorted
+            if rows is None:
+                rows = [e for _, e in sorted(self._entries.items())]
+                self._sorted = rows
+            xs = np.array([e.position.x for e in rows], dtype=np.float64)
+            ys = np.array([e.position.y for e in rows], dtype=np.float64)
+            seen = np.array([e.last_seen for e in rows], dtype=np.float64)
+            cols = (rows, xs, ys, seen)
+            self._columns = cols
+        return cols
 
     def get(self, link_address: int, now: float) -> NeighborEntry | None:
         """The live row for ``link_address``, or ``None``."""
@@ -123,6 +156,7 @@ class NeighborTable:
             del self._entries[a]
         if dead:
             self._sorted = None
+            self._columns = None
         return len(dead)
 
     def __len__(self) -> int:

@@ -15,7 +15,6 @@ ALARM, AO2P) is built from these.
 from __future__ import annotations
 
 import heapq
-from functools import partial
 from typing import Callable, Sequence
 
 import numpy as np
@@ -40,6 +39,13 @@ TxListener = Callable[[int | None, int, bool], None]
 #: pairwise in-range matrix (chunk_rows × n_nodes); 256k float64
 #: pairs keeps the per-chunk scratch around 4 MB.
 _PAIR_CHUNK_ELEMS = 262_144
+
+#: Node count at which the hello round switches from the all-pairs
+#: chunked in-range pass (O(N²) arithmetic, but one tight vector op at
+#: paper scale) to the cell-grouped pass over the spatial index's
+#: buckets (O(N × local density) arithmetic plus per-cell dispatch).
+#: Measured crossover on this kernel sits near 500 nodes.
+_GROUPED_HELLO_MIN = 512
 
 
 def _event_category(packet: Packet) -> str:
@@ -75,6 +81,13 @@ class Network:
     carrier_sense_factor:
         Carrier-sense radius as a multiple of the transmission range
         (802.11's ~2.2× is the default) for the contention-load count.
+    initial_positions:
+        Optional ``(n_nodes, 2)`` t=0 deployment (e.g. a shared-memory
+        view handed down by the sweep executor).  The array is copied
+        and pre-seeds the spatial index, so the first snapshot refresh
+        adopts positions incrementally instead of building the index
+        from scratch.  Results are identical with or without it — even
+        a stale array only costs a rebuild, never correctness.
     """
 
     def __init__(
@@ -89,6 +102,7 @@ class Network:
         keypair_bits: int = 64,
         carrier_sense_factor: float = 2.2,
         neighbor_ttl: float | None = None,
+        initial_positions: np.ndarray | None = None,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError(f"n_nodes must be positive, got {n_nodes}")
@@ -120,6 +134,18 @@ class Network:
         self._snapshot_scratch: np.ndarray | None = None
         self._snapshot_index: GridIndex | None = None
         self._snapshot_force_rebuild = False
+        if initial_positions is not None:
+            seed_pos = np.array(initial_positions, dtype=np.float64)
+            if seed_pos.shape != (n_nodes, 2):
+                raise ValueError(
+                    f"initial_positions must have shape ({n_nodes}, 2), "
+                    f"got {seed_pos.shape}"
+                )
+            # ``_snapshot_time`` stays stale (-1.0): the first
+            # ``snapshot()`` call interpolates real positions and
+            # incrementally adopts them into this pre-built index.
+            self._snapshot_index = GridIndex(seed_pos, self.radio.range_m)
+            self._snapshot_positions = seed_pos
         self._mobilities = [node.mobility for node in self.nodes]
         # Segment-cached batch interpolator: bit-identical to
         # positions_at() but only consults models whose trajectory leg
@@ -350,15 +376,22 @@ class Network:
 
         category = _event_category(packet)
         if outcome.success:
-            def _deliver() -> None:
-                receiver.deliver(packet)
-                if on_delivered is not None:
+            if on_delivered is None:
+                # Typed delivery record: the dominant path schedules
+                # ``receiver.deliver(packet)`` with no closure at all.
+                self.engine.schedule_deliver(
+                    now + outcome.delay_s, receiver, packet,
+                    category=category,
+                )
+            else:
+                def _deliver() -> None:
+                    receiver.deliver(packet)
                     on_delivered(receiver)
 
-            self.engine.schedule_in(
-                outcome.delay_s, _deliver,
-                category=category, cancellable=False,
-            )
+                self.engine.schedule_in(
+                    outcome.delay_s, _deliver,
+                    category=category, cancellable=False,
+                )
         elif on_failed is not None:
             self.engine.schedule_in(
                 outcome.delay_s, lambda r=reason: on_failed(r),
@@ -372,11 +405,9 @@ class Network:
                 if listener.active and self.radio.in_range(
                     spos.distance_to(listener.position(now))
                 ):
-                    self.engine.schedule_in(
-                        outcome.delay_s,
-                        lambda n=listener, p=prepared: n.deliver(p),
+                    self.engine.schedule_deliver(
+                        now + outcome.delay_s, listener, prepared,
                         category=_event_category(prepared),
-                        cancellable=False,
                     )
 
     def local_broadcast(
@@ -422,17 +453,15 @@ class Network:
 
         category = _event_category(packet)
         t_deliver = now + outcome.delay_s
-        schedule = self.engine.schedule_at
         if on_delivered is None:
-            # Fast lane for the dominant fire-and-forget fan-out: a
-            # bound-method partial per receiver instead of a closure.
+            # Fast lane for the dominant fire-and-forget fan-out: one
+            # typed delivery record per receiver, no callable at all.
+            nodes = self.nodes
+            deliver = self.engine.schedule_deliver
             for rid in receivers:
-                schedule(
-                    t_deliver,
-                    partial(self.nodes[rid].deliver, packet.fork()),
-                    category=category, cancellable=False,
-                )
+                deliver(t_deliver, nodes[rid], packet.fork(), category=category)
             return receivers
+        schedule = self.engine.schedule_at
         for rid in receivers:
             node = self.nodes[rid]
             branch = packet.fork()
@@ -484,14 +513,18 @@ class Network:
         private stream in exactly the scalar sequence, with the snapshot
         refreshed after the first transmitter's entry, where the scalar
         path's ``neighbors_of`` would refresh it — but the in-range
-        test runs as one pairwise array pass instead of one grid query
+        test runs as a pairwise array pass instead of one grid query
         per transmitter, and receiver tables ingest each round's rows
-        through :meth:`NeighborTable.bulk_update`.  The pairwise test
-        repeats ``GridIndex.query_radius``'s arithmetic over the full
-        snapshot (the grid's candidate set is a superset filtered by
-        this exact predicate), so the accepted pairs — and therefore
-        every metric — are bit-identical to the scalar round, kept
-        alongside as :meth:`_emit_hello_round_scalar`.
+        through :meth:`NeighborTable.ingest_shared`.  Below
+        ``_GROUPED_HELLO_MIN`` transmitters the pass is all-pairs
+        (chunked); above it, transmitters are grouped by grid cell via
+        :meth:`GridIndex.grouped_candidates` so the arithmetic scales
+        with local density instead of N².  Either pass repeats
+        ``GridIndex.query_radius``'s arithmetic (the candidate set is a
+        superset filtered by this exact predicate), so the accepted
+        pairs — and therefore every metric — are bit-identical to the
+        scalar round, kept alongside as
+        :meth:`_emit_hello_round_scalar`.
         """
         now = self.engine.now
         nodes = self.nodes
@@ -504,6 +537,7 @@ class Network:
         entries: list[NeighborEntry] = []
         centers = np.empty((n_tx, 2), dtype=np.float64)
         snap_pos: np.ndarray | None = None
+        snap_index: GridIndex | None = None
         for k in range(n_tx):
             i = int(tx_ids[k])
             node = nodes[i]
@@ -522,42 +556,94 @@ class Network:
             centers[k, 0] = p.x
             centers[k, 1] = p.y
             if snap_pos is None:
-                snap_pos, _ = self.snapshot()
+                snap_pos, snap_index = self.snapshot()
         r = self.radio.range_m
         r2 = r * r
-        chunk = max(1, _PAIR_CHUNK_ELEMS // max(len(nodes), 1))
-        sx = snap_pos[:, 0][:, None]
-        sy = snap_pos[:, 1][:, None]
-        for s in range(0, n_tx, chunk):
-            e = min(s + chunk, n_tx)
-            # Receiver-major (n_nodes, chunk) masks from 2D temporaries:
-            # dx*dx + dy*dy is the same two-term sum as the reference
-            # (d * d).sum(axis=-1) — identical accepted pairs — without
-            # materialising a 3D difference array.
-            dx = sx - centers[s:e, 0]
-            dy = sy - centers[s:e, 1]
-            dx *= dx
-            dy *= dy
-            dx += dy
-            in_range = dx <= r2
-            in_range &= active[:, None]
-            in_range[tx_ids[s:e], np.arange(e - s)] = False
-            counts = in_range.sum(axis=0)
-            for k in range(e - s):
+        round_rxs: list[np.ndarray] = []
+        round_txs: list[np.ndarray] = []
+        if n_tx >= _GROUPED_HELLO_MIN:
+            # Cell-grouped pass: transmitters sharing a grid cell share
+            # one candidate gather (their 3×3-cell neighborhood), so the
+            # pairwise test touches ~local-density rows per transmitter
+            # instead of all N.  The candidate set is a superset of
+            # every true receiver (cell size ≥ radius), filtered by the
+            # exact predicate below — accepted pairs are identical to
+            # the all-pairs branch, and the airtime accumulation loop
+            # afterwards adds per-transmitter terms in the same
+            # ascending order the chunked branch uses.
+            counts = np.zeros(n_tx, dtype=np.int64)
+            for q, cand in snap_index.grouped_candidates(centers, r):
+                cand = cand[active[cand]]
+                if cand.size == 0:
+                    continue
+                dx = snap_pos[cand, 0][:, None] - centers[q, 0]
+                dy = snap_pos[cand, 1][:, None] - centers[q, 1]
+                dx *= dx
+                dy *= dy
+                dx += dy
+                in_range = dx <= r2
+                in_range &= cand[:, None] != tx_ids[q]
+                counts[q] = in_range.sum(axis=0)
+                rl, tl = np.nonzero(in_range)
+                if rl.size:
+                    round_rxs.append(cand[rl])
+                    round_txs.append(q[tl])
+            for k in range(n_tx):
                 self.airtime_rx_s += hello_air * int(counts[k])
-            # Receiver-major nonzero: the pair list arrives grouped by
-            # receiver, so each table ingests its transmitters as one
-            # contiguous slice — no per-pair Python dispatch.
-            rxs, txs = np.nonzero(in_range)
-            if rxs.size == 0:
-                continue
-            bounds = np.flatnonzero(np.diff(rxs)) + 1
-            txl = txs.tolist()
-            rxl = rxs.tolist()
-            a = 0
-            for b in bounds.tolist() + [len(txl)]:
-                nodes[rxl[a]].neighbors.ingest_shared(entries, txl, a, b, s)
-                a = b
+        else:
+            chunk = max(1, _PAIR_CHUNK_ELEMS // max(len(nodes), 1))
+            sx = snap_pos[:, 0][:, None]
+            sy = snap_pos[:, 1][:, None]
+            for s in range(0, n_tx, chunk):
+                e = min(s + chunk, n_tx)
+                # Receiver-major (n_nodes, chunk) masks from 2D
+                # temporaries: dx*dx + dy*dy is the same two-term sum
+                # as the reference (d * d).sum(axis=-1) — identical
+                # accepted pairs — without materialising a 3D
+                # difference array.
+                dx = sx - centers[s:e, 0]
+                dy = sy - centers[s:e, 1]
+                dx *= dx
+                dy *= dy
+                dx += dy
+                in_range = dx <= r2
+                in_range &= active[:, None]
+                in_range[tx_ids[s:e], np.arange(e - s)] = False
+                counts = in_range.sum(axis=0)
+                for k in range(e - s):
+                    self.airtime_rx_s += hello_air * int(counts[k])
+                rxs, txs = np.nonzero(in_range)
+                if rxs.size == 0:
+                    continue
+                round_rxs.append(rxs)
+                # Shift chunk-local column indices to round-global
+                # entry indices so the whole round shares one index
+                # space.
+                round_txs.append(txs + s if s else txs)
+        if not round_rxs:
+            return
+        # One ingest per receiver per *round*, not per chunk: large
+        # fields split a round into many chunks, and each receiver's
+        # per-chunk slice averages only a few rows — the per-call
+        # dispatch dominates.  The stable receiver sort preserves each
+        # receiver's ascending-transmitter row order across chunks, and
+        # table content is order-independent anyway (each (rx, tx) pair
+        # appears once per round; reads sort by address).
+        if len(round_rxs) == 1:
+            rxs, txs = round_rxs[0], round_txs[0]
+        else:
+            rxs = np.concatenate(round_rxs)
+            txs = np.concatenate(round_txs)
+            order = np.argsort(rxs, kind="stable")
+            rxs = rxs[order]
+            txs = txs[order]
+        bounds = np.flatnonzero(np.diff(rxs)) + 1
+        txl = txs.tolist()
+        rxl = rxs.tolist()
+        a = 0
+        for b in bounds.tolist() + [len(txl)]:
+            nodes[rxl[a]].neighbors.ingest_shared(entries, txl, a, b, 0)
+            a = b
 
     def _emit_hello_round_scalar(self) -> None:
         """Reference scalar round (kept for parity tests/benchmarks)."""

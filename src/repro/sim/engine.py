@@ -16,6 +16,11 @@ the pop loop instead of re-checking the head and delegating to
 :meth:`step` per event.  Callers that never cancel an event — packet
 deliveries, which dominate the schedule — pass ``cancellable=False``
 and skip the :class:`Event`/:class:`EventHandle` allocations entirely.
+Frame deliveries go one step further: :meth:`schedule_deliver` pushes a
+*typed record* ``(time, priority, seq, OP_DELIVER, category, node,
+packet)`` with no callable at all, and the pop loop dispatches it with
+a direct ``node.deliver(packet)`` call — no closure or ``partial``
+allocation per frame on the dominant (``data``) schedule path.
 Cancelled events are counted live, making :meth:`pending` O(1), and
 the heap is compacted once more than half of it is dead so
 cancellation-heavy workloads (retransmit timers) cannot grow it
@@ -28,7 +33,7 @@ import heapq
 from math import isfinite
 from typing import Any, Callable
 
-from repro.sim.events import Event, EventHandle
+from repro.sim.events import Event, EventHandle, OP_DELIVER
 from repro.sim.rng import RngRegistry
 
 #: Compaction threshold: dead entries tolerated before a rebuild is
@@ -140,6 +145,41 @@ class Engine:
             cancellable=cancellable,
         )
 
+    def schedule_deliver(
+        self,
+        time: float,
+        node: Any,
+        packet: Any,
+        priority: int = 0,
+        category: str = "data",
+    ) -> None:
+        """Schedule ``node.deliver(packet)`` as a typed delivery record.
+
+        The fast lane for the dominant schedule entry: no callback, no
+        closure — the pop loop invokes ``deliver`` directly from the
+        heap tuple.  Records are never cancellable and fire in exactly
+        the ``(time, priority, insertion)`` order a ``cancellable=False``
+        callback scheduled at the same point would (the shared ``seq``
+        counter makes the two lanes interleave deterministically).
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is in the past or not finite.
+        """
+        if not isfinite(time):
+            raise SimulationError(f"non-finite event time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} < now={self._now:.6f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._heap,
+            (time, priority, seq, OP_DELIVER, category, node, packet),
+        )
+
     # ------------------------------------------------------------------
     # cancellation bookkeeping
     # ------------------------------------------------------------------
@@ -157,11 +197,15 @@ class Engine:
             and 2 * self._n_cancelled > len(self._heap)
         ):
             # In place: ``run`` holds a local alias to the heap list.
+            # Typed delivery records (integer opcode in the fn slot)
+            # carry a Node in slot 5 and are never cancellable.
             heap = self._heap
             heap[:] = [
                 entry
                 for entry in heap
-                if entry[5] is None or not entry[5].cancelled
+                if type(entry[3]) is int
+                or entry[5] is None
+                or not entry[5].cancelled
             ]
             heapq.heapify(heap)
             self._n_cancelled = 0
@@ -181,14 +225,25 @@ class Engine:
         heap = self._heap
         counts = self.event_counts
         while heap:
-            time_, _, _, fn, category, ev = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            fn = entry[3]
+            if type(fn) is int:
+                # Typed delivery record: dispatch without a callback.
+                self._now = entry[0]
+                self.events_processed += 1
+                category = entry[4]
+                counts[category] = counts.get(category, 0) + 1
+                entry[5].deliver(entry[6])
+                return True
+            ev = entry[5]
             if ev is not None:
                 if ev.cancelled:
                     self._n_cancelled -= 1
                     continue
                 ev.fired = True
-            self._now = time_
+            self._now = entry[0]
             self.events_processed += 1
+            category = entry[4]
             counts[category] = counts.get(category, 0) + 1
             fn()
             return True
@@ -212,6 +267,16 @@ class Engine:
                 if until is not None and time_ > until:
                     break
                 pop(heap)
+                fn = entry[3]
+                if type(fn) is int:
+                    # Typed delivery record (the dominant entry kind):
+                    # one direct method call, no callback indirection.
+                    self._now = time_
+                    self.events_processed += 1
+                    category = entry[4]
+                    counts[category] = counts.get(category, 0) + 1
+                    entry[5].deliver(entry[6])
+                    continue
                 ev = entry[5]
                 if ev is not None:
                     if ev.cancelled:
@@ -222,7 +287,7 @@ class Engine:
                 self.events_processed += 1
                 category = entry[4]
                 counts[category] = counts.get(category, 0) + 1
-                entry[3]()
+                fn()
         finally:
             self._running = False
         if until is not None and not self._stopped and until > self._now:

@@ -4,12 +4,27 @@ Events are lightweight records placed on the engine's binary heap.  They
 are ordered by ``(time, priority, sequence)``: earlier times fire first,
 ties break on explicit priority and then on FIFO insertion order, which
 keeps runs bit-for-bit deterministic for a given seed and schedule.
+
+Typed delivery records
+----------------------
+The dominant schedule entry — a one-hop frame delivery — does not need
+a callback at all: the engine's pop loop can invoke ``node.deliver(
+packet)`` directly from a plain heap tuple.  Such entries carry the
+integer opcode :data:`OP_DELIVER` in the slot a callable normally
+occupies (``type(entry[3]) is int`` is the lane discriminator), plus
+the receiver and packet in two trailing slots, eliminating the closure
+and argument-cell allocations a per-frame callback would cost.  Ordering
+is unchanged — records compare by the same ``(time, priority, seq)``
+prefix, and ``seq`` is unique so comparisons never reach the opcode.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+#: Opcode of a typed delivery record: ``entry[5].deliver(entry[6])``.
+OP_DELIVER: int = 0
 
 
 @dataclass(order=True, slots=True)

@@ -49,6 +49,17 @@ GOLDEN_CONFIGS = {
             "enable_confirmation": True,
         },
     ),
+    # Large-field config guarding the 1k-node fast lane (typed delivery
+    # records, batched greedy forwarding, round-batched hello ingest) at
+    # the paper's density scaled to 1000 nodes.
+    "alert_rwp_1k": ExperimentConfig(
+        protocol="ALERT",
+        n_nodes=1000,
+        field_size=2236.0,
+        duration=5.0,
+        n_pairs=20,
+        seed=11,
+    ),
 }
 
 

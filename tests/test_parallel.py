@@ -69,7 +69,16 @@ def _crash_once_metric(result):
 class TestWorkerCount:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         assert worker_count() == 3
+
+    def test_env_clamped_to_cpu_count(self, monkeypatch):
+        # More workers than cores is pure contention (a 4-worker pool
+        # on a 1-CPU host ran *slower* than serial); the env resolver
+        # clamps, explicit workers= arguments stay honored.
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert worker_count() == 2
 
     def test_env_floor_is_one(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "0")
@@ -303,6 +312,96 @@ class TestSerialDegradeLogging:
         ]
         assert len(degraded) == 1
         assert "not picklable" in degraded[0].getMessage()
+
+
+class TestColdPoolBreakEven:
+    """Env-resolved sweeps too small to amortise a pool spawn degrade
+    to serial (with one logged notice); explicit ``workers=`` and warm
+    pools never degrade."""
+
+    def test_small_env_sweep_stays_serial(self, monkeypatch, caplog):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with SweepExecutor() as ex:
+            with caplog.at_level(
+                logging.WARNING, logger="repro.experiments.parallel"
+            ):
+                values = ex.map_cells(
+                    [Cell(SMALL, metric_delivery_rate, runs=2)]
+                )
+            assert ex._pool is None  # never spawned
+        assert any("break-even" in r.getMessage() for r in caplog.records)
+        serial = [metric_delivery_rate(r) for r in run_many(SMALL, runs=2)]
+        assert values == [serial]
+
+    def test_explicit_workers_spawn_pool_below_breakeven(self):
+        with SweepExecutor(workers=2) as ex:
+            ex.map_cells([Cell(SMALL, metric_delivery_rate, runs=2)])
+            assert ex._pool is not None
+
+
+class TestSharedPositionSegment:
+    """Co-seeded cells share one t=0 deployment through shared memory."""
+
+    def test_refs_cover_co_seeded_cells(self):
+        import numpy as np
+
+        from repro.experiments.runner import initial_positions_for
+
+        cells = [
+            Cell(SMALL, metric_delivery_rate, runs=2),
+            Cell(SMALL.with_(protocol="GPSR"), metric_delivery_rate, runs=2),
+        ]
+        payloads = []
+        for cell in cells:
+            for cfg in cell.seed_configs():
+                payloads.append(
+                    (len(payloads), None, cfg, cell.metric, None)
+                )
+        ex = SweepExecutor(workers=2)
+        pos_shm, refs = ex._build_position_segment(payloads)
+        assert pos_shm is not None and refs is not None
+        try:
+            # Same seed across protocols shares; different seeds don't.
+            assert refs[0] == refs[2]
+            assert refs[1] == refs[3]
+            assert refs[0] != refs[1]
+            name, offset, n = refs[0]
+            assert name == pos_shm.name
+            assert n == SMALL.n_nodes
+            view = np.ndarray(
+                (n, 2), dtype=np.float64, buffer=pos_shm.buf, offset=offset
+            )
+            np.testing.assert_array_equal(
+                view, initial_positions_for(payloads[0][2])
+            )
+        finally:
+            pos_shm.close()
+            pos_shm.unlink()
+
+    def test_unique_signatures_share_nothing(self):
+        cell = Cell(SMALL, metric_delivery_rate, runs=3)
+        payloads = [
+            (i, None, cfg, cell.metric, None)
+            for i, cfg in enumerate(cell.seed_configs())
+        ]
+        pos_shm, refs = SweepExecutor()._build_position_segment(payloads)
+        assert pos_shm is None and refs is None
+
+    def test_co_seeded_parallel_matches_serial(self):
+        # End to end through the pool: the shared-deployment path must
+        # stay bit-identical to serial execution.
+        cells = [
+            Cell(SMALL, metric_delivery_rate, runs=2),
+            Cell(SMALL.with_(protocol="GPSR"), metric_delivery_rate, runs=2),
+        ]
+        with SweepExecutor(workers=2) as ex:
+            parallel = ex.map_cells(cells)
+        serial = [
+            [metric_delivery_rate(r) for r in run_many(c.cfg, runs=2)]
+            for c in cells
+        ]
+        assert parallel == serial
 
 
 class TestCellValidation:

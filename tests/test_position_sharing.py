@@ -1,0 +1,82 @@
+"""Parity contracts for shared t=0 deployments.
+
+The sweep executor hands workers precomputed position arrays
+(:func:`repro.experiments.runner.initial_positions_for`) through shared
+memory; a worker pre-seeds its network's spatial index with them
+(``Network(initial_positions=...)``).  Both halves carry an exactness
+contract: the replayed deployment must be bit-identical to the one the
+network would derive itself, and pre-seeding must not perturb a single
+observable of the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import initial_positions_for, run_experiment
+from tests.test_golden_trace import trace_summary
+
+CONFIGS = {
+    "rwp": ExperimentConfig(
+        n_nodes=40, duration=5.0, n_pairs=2, field_size=800.0, seed=21
+    ),
+    "static": ExperimentConfig(
+        n_nodes=40, duration=5.0, n_pairs=2, field_size=800.0, seed=22,
+        speed=0.0,
+    ),
+    "group": ExperimentConfig(
+        n_nodes=40, duration=5.0, n_pairs=2, field_size=800.0, seed=23,
+        mobility="group", n_groups=4, group_range=150.0,
+    ),
+}
+
+
+class TestInitialPositionsFor:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_matches_network_deployment(self, name):
+        """Row i equals the network's own node i position at t=0."""
+        cfg = CONFIGS[name]
+        replayed = initial_positions_for(cfg)
+        assert replayed.shape == (cfg.n_nodes, 2)
+        result = run_experiment(cfg, max_packets_per_pair=0)
+        for i in range(cfg.n_nodes):
+            p = result.network.nodes[i].position(0.0)
+            assert (replayed[i, 0], replayed[i, 1]) == (p.x, p.y)
+
+
+class TestPreSeededNetwork:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_run_is_bit_identical(self, name):
+        cfg = CONFIGS[name]
+        plain = run_experiment(cfg)
+        seeded = run_experiment(
+            cfg, initial_positions=initial_positions_for(cfg)
+        )
+        assert trace_summary(seeded) == trace_summary(plain)
+        assert seeded.event_counts == plain.event_counts
+
+    def test_read_only_view_accepted(self):
+        """Workers hand the network a read-only shared view; the
+        network must copy, never write through."""
+        cfg = CONFIGS["rwp"]
+        pos = initial_positions_for(cfg)
+        pos.flags.writeable = False
+        seeded = run_experiment(cfg, initial_positions=pos)
+        assert trace_summary(seeded) == trace_summary(run_experiment(cfg))
+
+    def test_shape_mismatch_raises(self):
+        cfg = CONFIGS["rwp"]
+        with pytest.raises(ValueError, match="initial_positions"):
+            run_experiment(
+                cfg, initial_positions=np.zeros((cfg.n_nodes + 1, 2))
+            )
+
+    def test_stale_array_only_costs_a_rebuild(self):
+        """A wrong (but well-shaped) deployment must not change any
+        observable — the first snapshot adopts or rebuilds over it."""
+        cfg = CONFIGS["rwp"]
+        wrong = np.full((cfg.n_nodes, 2), cfg.field_size / 2.0)
+        seeded = run_experiment(cfg, initial_positions=wrong)
+        assert trace_summary(seeded) == trace_summary(run_experiment(cfg))

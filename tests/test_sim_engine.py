@@ -216,3 +216,126 @@ class TestCategories:
         eng.run()
         assert eng.event_counts == {}
         assert eng.events_processed == 0
+
+
+class _StubNode:
+    """Minimal delivery target for typed-record tests."""
+
+    def __init__(self, log, name="n"):
+        self.log = log
+        self.name = name
+
+    def deliver(self, packet):
+        self.log.append((self.name, packet))
+
+
+class TestDeliveryRecords:
+    """The typed delivery-record lane (``schedule_deliver``)."""
+
+    def test_record_dispatches_node_deliver(self):
+        eng = Engine()
+        log = []
+        eng.schedule_deliver(1.0, _StubNode(log), "pkt", category="data")
+        eng.run()
+        assert log == [("n", "pkt")]
+        assert eng.events_processed == 1
+        assert eng.event_counts == {"data": 1}
+
+    def test_step_processes_record(self):
+        eng = Engine()
+        log = []
+        eng.schedule_deliver(1.0, _StubNode(log), "pkt")
+        assert eng.step() is True
+        assert log == [("n", "pkt")]
+        assert eng.now == 1.0
+
+    def test_past_and_non_finite_times_raise(self):
+        eng = Engine()
+        eng.schedule_at(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_deliver(1.0, _StubNode([]), "pkt")
+        with pytest.raises(SimulationError):
+            eng.schedule_deliver(float("nan"), _StubNode([]), "pkt")
+
+    def test_records_survive_heap_compaction(self):
+        # Compaction filters cancelled events in place; typed records
+        # (integer opcode, no Event object) must never be dropped.
+        eng = Engine()
+        log = []
+        eng.schedule_deliver(100.0, _StubNode(log), "pkt")
+        for _ in range(20):
+            batch = [eng.schedule_at(50.0, lambda: None) for _ in range(100)]
+            for h in batch:
+                h.cancel()
+        eng.run()
+        assert log == [("n", "pkt")]
+
+
+class TestReEntrantSameTimeOrder:
+    """Work scheduled at ``time == now`` *during* ``run`` fires within
+    the same run, after already-queued same-time events, in
+    ``(priority, insertion)`` order — for the legacy callback lane, the
+    typed record lane, and any interleaving of the two (the shared
+    ``seq`` counter is what keeps the lanes from racing)."""
+
+    def test_callback_lane(self):
+        eng = Engine()
+        order = []
+
+        def spawner():
+            order.append("spawner")
+            eng.schedule_at(1.0, lambda: order.append("late"))
+            eng.schedule_at(1.0, lambda: order.append("urgent"), priority=-1)
+
+        eng.schedule_at(1.0, spawner)
+        eng.schedule_at(1.0, lambda: order.append("queued"))
+        eng.run()
+        # "queued" was inserted before the spawned events and shares
+        # priority 0 with "late"; "urgent" outranks both on priority.
+        assert order == ["spawner", "urgent", "queued", "late"]
+
+    def test_record_lane(self):
+        eng = Engine()
+        log = []
+
+        class _Spawning:
+            def deliver(self, packet):
+                log.append(("spawn", packet))
+                eng.schedule_deliver(1.0, _StubNode(log, "b"), "late")
+                eng.schedule_deliver(
+                    1.0, _StubNode(log, "a"), "urgent", priority=-1
+                )
+
+        eng.schedule_deliver(1.0, _Spawning(), "first")
+        eng.schedule_deliver(1.0, _StubNode(log, "q"), "queued")
+        eng.run()
+        assert log == [
+            ("spawn", "first"),
+            ("a", "urgent"),
+            ("q", "queued"),
+            ("b", "late"),
+        ]
+
+    def test_lanes_interleave_by_insertion(self):
+        eng = Engine()
+        order = []
+
+        def spawner():
+            order.append("cb-spawner")
+            eng.schedule_deliver(
+                1.0, _StubNode(order, "rec-spawned"), "p"
+            )
+            eng.schedule_at(1.0, lambda: order.append("cb-spawned"))
+
+        eng.schedule_at(1.0, spawner)
+        eng.schedule_deliver(1.0, _StubNode(order, "rec-queued"), "p")
+        eng.schedule_at(1.0, lambda: order.append("cb-queued"))
+        eng.run()
+        assert order == [
+            "cb-spawner",
+            ("rec-queued", "p"),
+            "cb-queued",
+            ("rec-spawned", "p"),
+            "cb-spawned",
+        ]
