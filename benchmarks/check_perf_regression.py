@@ -24,6 +24,14 @@ point at the same config and duration as the committed baseline's, so
 the gate compares ``loop_mean_s`` directly.  Reports that predate the
 scale harness skip this gate instead of failing it.
 
+A third gate covers the ``traffic`` section written by
+``benchmarks/bench_traffic_adaptive.py``.  Unlike the other two it is
+deterministic (seeded simulation outputs, not wall time): it asserts
+the closed-loop traffic invariants — backoff events fired, adaptive
+offered load below CBR's, goodput within 10 % of the CBR baseline —
+and additionally bounds the goodput-ratio drop against a
+duration-matched baseline point when one exists.
+
 Caveats the threshold absorbs: CI runners are not the machine the
 baseline was recorded on, and a 200-node quick run is ~0.2 s of
 wall-clock, so the gate catches structural regressions (an optimisation
@@ -116,6 +124,56 @@ def check_scale(
     return change <= max_regression, summary
 
 
+def check_traffic(
+    baseline: dict, candidate: dict, max_regression: float
+) -> tuple[bool, str]:
+    """Gate the closed-loop traffic point from ``bench_traffic_adaptive.py``.
+
+    Every number in the ``traffic`` section is produced by seeded runs,
+    so this gate checks the *closed-loop invariants* on exact values
+    rather than wall time: backoff events fired, adaptive offered load
+    sits below CBR's, and adaptive goodput stays within 10 % of the CBR
+    baseline.  When the baseline report has a duration-matched point,
+    the goodput ratio is additionally not allowed to drop by more than
+    ``max_regression`` relative to it.  Reports that predate the traffic
+    harness skip this gate instead of failing it.
+    """
+    cand_section = candidate.get("traffic") or {}
+    cand = cand_section.get("quick_point") or cand_section.get("full_point")
+    if cand is None:
+        return True, "traffic: skipped (section missing from candidate)"
+    ratio = cand["goodput_ratio"]
+    problems = []
+    if cand["adaptive"]["backoff_events"] <= 0:
+        problems.append("no backoff events (feedback loop inert)")
+    if cand["adaptive"]["offered_load_pps"] >= cand["cbr"]["offered_load_pps"]:
+        problems.append("adaptive offered load not below CBR")
+    if ratio < 0.9:
+        problems.append(f"goodput ratio {ratio:.3f} < 0.9")
+    base_section = baseline.get("traffic") or {}
+    rel = ""
+    for key in ("quick_point", "full_point"):
+        base = base_section.get(key)
+        if base and base.get("sim_duration_s") == cand.get("sim_duration_s"):
+            change = ratio / base["goodput_ratio"] - 1.0
+            rel = f", vs {key} {change:+.1%}"
+            if change < -max_regression:
+                problems.append(
+                    f"ratio fell {-change:.1%} vs baseline {key} "
+                    f"(limit {max_regression:.0%})"
+                )
+            break
+    summary = (
+        f"traffic: goodput ratio {ratio:.3f}, "
+        f"{cand['adaptive']['backoff_events']} backoffs, offered "
+        f"{cand['cbr']['offered_load_pps']:.1f} -> "
+        f"{cand['adaptive']['offered_load_pps']:.1f} pps{rel}"
+    )
+    if problems:
+        return False, summary + " | " + "; ".join(problems)
+    return True, summary
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True)
@@ -130,7 +188,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text())
     candidate = json.loads(args.candidate.read_text())
     failed = False
-    for gate in (check, check_scale):
+    for gate in (check, check_scale, check_traffic):
         ok, summary = gate(baseline, candidate, args.max_regression)
         print(summary)
         if not ok:
@@ -231,6 +289,84 @@ def test_main_fails_on_scale_regression(tmp_path):
     cand = tmp_path / "cand.json"
     base.write_text(json.dumps(_scale_report(5.0)))
     cand.write_text(json.dumps(_scale_report(9.0)))  # alert_run unchanged
+    rc = main(["--baseline", str(base), "--candidate", str(cand)])
+    assert rc == 1
+
+
+def _traffic_report(
+    ratio: float,
+    backoffs: int = 1500,
+    offered: tuple[float, float] = (455.0, 420.0),
+    duration: float = 12.0,
+    point: str = "quick_point",
+) -> dict:
+    report = _report(1.0, 1000, 10.0)
+    cbr_off, ad_off = offered
+    report["traffic"] = {
+        point: {
+            "sim_duration_s": duration,
+            "goodput_ratio": ratio,
+            "cbr": {"offered_load_pps": cbr_off, "goodput_pps": 380.0},
+            "adaptive": {
+                "offered_load_pps": ad_off,
+                "goodput_pps": 380.0 * ratio,
+                "backoff_events": backoffs,
+            },
+        }
+    }
+    return report
+
+
+def test_traffic_gate_passes_on_healthy_point():
+    ok, summary = check_traffic(
+        _traffic_report(0.95), _traffic_report(0.93), 0.25
+    )
+    assert ok and "goodput ratio 0.930" in summary and "quick_point" in summary
+
+
+def test_traffic_gate_fails_below_absolute_floor():
+    ok, summary = check_traffic(
+        _traffic_report(0.95), _traffic_report(0.85), 0.25
+    )
+    assert not ok and "< 0.9" in summary
+
+
+def test_traffic_gate_fails_without_backoffs():
+    ok, summary = check_traffic(
+        _traffic_report(0.95), _traffic_report(0.95, backoffs=0), 0.25
+    )
+    assert not ok and "inert" in summary
+
+
+def test_traffic_gate_fails_when_load_not_cut():
+    ok, summary = check_traffic(
+        _traffic_report(0.95),
+        _traffic_report(0.95, offered=(455.0, 455.0)),
+        0.25,
+    )
+    assert not ok and "not below CBR" in summary
+
+
+def test_traffic_gate_skips_without_candidate_section():
+    ok, summary = check_traffic(
+        _traffic_report(0.95), _report(1.0, 1000, 10.0), 0.25
+    )
+    assert ok and "skipped" in summary
+
+
+def test_traffic_gate_ignores_duration_mismatched_baseline():
+    # Baseline point at a different simulated duration: absolute checks
+    # only, no relative comparison in the summary.
+    base = _traffic_report(0.99, duration=30.0)
+    ok, summary = check_traffic(base, _traffic_report(0.92), 0.25)
+    assert ok and "vs quick_point" not in summary
+
+
+def test_main_fails_on_traffic_violation(tmp_path):
+    base = tmp_path / "base.json"
+    cand = tmp_path / "cand.json"
+    base.write_text(json.dumps(_traffic_report(0.95)))
+    cand.write_text(json.dumps(_traffic_report(0.95, backoffs=0)))
     rc = main(["--baseline", str(base), "--candidate", str(cand)])
     assert rc == 1
 

@@ -85,6 +85,8 @@ class SessionState:
     established: bool = False
     #: sha256 of sent plaintexts, for end-to-end integrity verification
     sent_digests: dict[int, bytes] = field(default_factory=dict)
+    #: metrics flow id per sequence number (confirmation-timeout feedback)
+    flow_ids: dict[int, int] = field(default_factory=dict)
     #: retained ciphertexts for resend/NAK recovery
     retained: dict[int, bytes] = field(default_factory=dict)
     confirm_timers: dict[int, Timer] = field(default_factory=dict)
@@ -216,6 +218,8 @@ class AlertProtocol(RoutingProtocol):
             .tobytes()
         )
         sess.sent_digests[seq] = hashlib.sha256(plaintext).digest()
+        if packet.flow_id is not None:
+            sess.flow_ids[seq] = packet.flow_id
         nonce = seq.to_bytes(8, "big")
         cipher = SymmetricCipher(sess.key)
         if self._cost_only:
@@ -430,6 +434,7 @@ class AlertProtocol(RoutingProtocol):
 
     def _on_link_failure(self, node: Node, choice, packet: Packet, reason: str) -> None:
         hdr: AlertHeader = packet.header
+        self._report_link_failure(packet, reason)
         node.neighbors.remove(choice.link_address)
         hdr.segment.retries += 1
         hdr.segment.ttl += 1  # failed hop made no progress
@@ -675,6 +680,11 @@ class AlertProtocol(RoutingProtocol):
         sess.confirm_timers[seq] = timer
 
     def _resend(self, sess: SessionState, seq: int, data_size: int) -> None:
+        # The confirmation window closed (or a NAK arrived) without an
+        # RREP for this seq — the closed-loop timeout signal.  Reported
+        # before the resend-budget check so a given-up packet still
+        # feeds back.
+        self._report_timeout(sess.flow_ids.get(seq))
         count = sess.resends.get(seq, 0)
         if count >= self.config.max_resends:
             self.metrics.note("resend_given_up")

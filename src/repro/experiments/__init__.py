@@ -6,12 +6,13 @@ module, so runner symbols are exposed lazily to keep imports acyclic.
 
 from typing import Any
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ExperimentConfig, TrafficConfig
 from repro.experiments.metrics import FlowRecord, MetricsCollector
 from repro.experiments.tables import format_kv_block, format_series_table
 
 __all__ = [
     "ExperimentConfig",
+    "TrafficConfig",
     "MetricsCollector",
     "FlowRecord",
     "run_experiment",

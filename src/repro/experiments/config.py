@@ -7,6 +7,62 @@ from typing import Any
 
 
 @dataclass(frozen=True)
+class TrafficConfig:
+    """The traffic-source block of an experiment.
+
+    ``model="cbr"`` is the paper's open-loop source; ``"adaptive"``
+    swaps in :class:`~repro.net.traffic.AdaptiveSource` driven by a
+    per-run :class:`~repro.net.feedback.FlowFeedback` channel (MAC
+    drops, routing deliveries/drops, confirmation timeouts).
+
+    Parameters
+    ----------
+    model:
+        ``"cbr"`` or ``"adaptive"``.
+    min_interval, max_interval:
+        Hard clamp for the adaptive send interval, seconds.  The
+        experiment's ``send_interval`` must lie inside the clamp.
+    backoff_factor:
+        Multiplicative interval growth per loss signal (> 1).
+    recovery_step:
+        Additive interval reduction per acknowledged delivery, seconds.
+        Recovery never undershoots ``send_interval``, so a loss-free
+        adaptive flow is bit-identical to CBR.
+    react_to_mac_drops:
+        Whether MAC retry-exhausted drops trigger backoff (terminal
+        routing drops and confirmation timeouts always do).
+    """
+
+    model: str = "cbr"
+    min_interval: float = 0.05
+    max_interval: float = 8.0
+    backoff_factor: float = 2.0
+    recovery_step: float = 0.25
+    react_to_mac_drops: bool = True
+
+    def __post_init__(self) -> None:
+        if self.model not in ("cbr", "adaptive"):
+            raise ValueError(f"unknown traffic model {self.model!r}")
+        if not 0 < self.min_interval <= self.max_interval:
+            raise ValueError(
+                "need 0 < min_interval <= max_interval, got "
+                f"{self.min_interval!r}..{self.max_interval!r}"
+            )
+        if self.backoff_factor <= 1.0:
+            raise ValueError(
+                f"backoff_factor must exceed 1, got {self.backoff_factor!r}"
+            )
+        if self.recovery_step < 0:
+            raise ValueError(
+                f"recovery_step must be >= 0, got {self.recovery_step!r}"
+            )
+
+    def with_(self, **overrides: Any) -> "TrafficConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """One simulation's parameters.
 
@@ -61,6 +117,9 @@ class ExperimentConfig:
     seed: int = 1
     drain_time: float = 3.0
     hello_interval: float = 1.0
+    #: traffic-source block; a plain dict is coerced to
+    #: :class:`TrafficConfig` for sweep/CLI convenience.
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
 
     def __post_init__(self) -> None:
         if self.protocol not in ("ALERT", "GPSR", "ALARM", "AO2P", "ZAP"):
@@ -73,6 +132,18 @@ class ExperimentConfig:
             raise ValueError("n_pairs must fit disjointly into the population")
         if self.speed < 0:
             raise ValueError("speed must be >= 0")
+        if isinstance(self.traffic, dict):
+            object.__setattr__(self, "traffic", TrafficConfig(**self.traffic))
+        if self.traffic.model == "adaptive" and not (
+            self.traffic.min_interval
+            <= self.send_interval
+            <= self.traffic.max_interval
+        ):
+            raise ValueError(
+                f"send_interval={self.send_interval!r} outside the adaptive "
+                f"clamp [{self.traffic.min_interval!r}, "
+                f"{self.traffic.max_interval!r}]"
+            )
 
     def with_(self, **overrides: Any) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

@@ -150,6 +150,25 @@ class MetricsCollector:
         """Number of data packets handed to the protocol."""
         return len(self._order)
 
+    @property
+    def packets_delivered(self) -> int:
+        """Number of data packets that reached their destination."""
+        return sum(1 for f in self.flows() if f.delivered)
+
+    def per_pair_counts(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """``(sent, delivered)`` per (src, dst) pair, in flow order.
+
+        The per-flow view behind ``RunResult.per_flow_traffic()``:
+        offered load and goodput of each S-D pair separately.
+        """
+        out: dict[tuple[int, int], list[int]] = {}
+        for f in self.flows():
+            sent_delivered = out.setdefault((f.src, f.dst), [0, 0])
+            sent_delivered[0] += 1
+            if f.delivered:
+                sent_delivered[1] += 1
+        return {k: (v[0], v[1]) for k, v in out.items()}
+
     def delivery_rate(self) -> float:
         """Fraction of packets delivered (§5.2 metric 6)."""
         if not self._order:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import gc
 import math
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -26,9 +26,16 @@ from repro.location.service import LocationService
 from repro.mobility.group_mobility import make_group_mobility
 from repro.mobility.random_waypoint import RandomWaypoint
 from repro.mobility.static import StaticPosition
+from repro.net.feedback import FlowFeedback
 from repro.net.network import Network
 from repro.net.radio import RadioModel
-from repro.net.traffic import CbrSource
+from repro.net.traffic import (
+    DEFAULT_BACKOFF_KINDS,
+    LOSS_DROP,
+    LOSS_TIMEOUT,
+    AdaptiveSource,
+    CbrSource,
+)
 from repro.routing.alarm import AlarmProtocol
 from repro.routing.ao2p import Ao2pProtocol
 from repro.routing.base import RoutingProtocol
@@ -57,6 +64,10 @@ class RunResult:
     network: Network
     engine: Engine
     pairs: list[tuple[int, int]]
+    #: the traffic sources that drove the run (CBR or adaptive)
+    sources: list[CbrSource] = field(default_factory=list)
+    #: the delivery-feedback channel (``None`` for open-loop traffic)
+    feedback: FlowFeedback | None = None
 
     # -- §5.2 metric accessors ------------------------------------------
     @property
@@ -95,6 +106,48 @@ class RunResult:
         extra = self.metrics.counters.get("dissemination_rx", 0.0)
         sent = max(self.metrics.packets_sent, 1)
         return base + extra / sent
+
+    # -- traffic / closed-loop accessors --------------------------------
+    @property
+    def offered_load_pps(self) -> float:
+        """Data packets handed to the protocol per simulated second."""
+        return self.metrics.packets_sent / max(self.config.duration, 1e-12)
+
+    @property
+    def goodput_pps(self) -> float:
+        """Data packets delivered end-to-end per simulated second."""
+        return self.metrics.packets_delivered / max(self.config.duration, 1e-12)
+
+    @property
+    def backoff_events(self) -> int:
+        """Total adaptive-source backoff events (0 under CBR)."""
+        return sum(getattr(s, "backoff_events", 0) for s in self.sources)
+
+    @property
+    def recovery_events(self) -> int:
+        """Total adaptive-source recovery events (0 under CBR)."""
+        return sum(getattr(s, "recovery_events", 0) for s in self.sources)
+
+    def per_flow_traffic(self) -> list[dict]:
+        """Per-pair offered load / goodput / backoff, in source order."""
+        counts = self.metrics.per_pair_counts()
+        rows = []
+        for s in self.sources:
+            sent, delivered = counts.get((s.src, s.dst), (0, 0))
+            rows.append(
+                {
+                    "src": s.src,
+                    "dst": s.dst,
+                    "offered": sent,
+                    "delivered": delivered,
+                    "backoff_events": getattr(s, "backoff_events", 0),
+                    "recovery_events": getattr(s, "recovery_events", 0),
+                    "final_interval_s": getattr(
+                        s, "interval", self.config.send_interval
+                    ),
+                }
+            )
+        return rows
 
 
 def make_mobility_factory(cfg: ExperimentConfig, engine: Engine, fld: Field):
@@ -180,6 +233,66 @@ def make_protocol(
     if cfg.protocol == "ZAP":
         return ZapProtocol(network, location, metrics, cost)
     raise ValueError(f"unknown protocol {cfg.protocol!r}")
+
+
+def build_traffic(
+    cfg: ExperimentConfig,
+    engine: Engine,
+    protocol: RoutingProtocol,
+    network: Network,
+    pairs: list[tuple[int, int]],
+    max_packets_per_pair: int | None = None,
+) -> tuple[list[CbrSource], FlowFeedback | None]:
+    """Instantiate the configured traffic sources for ``pairs``.
+
+    ``traffic.model == "cbr"`` builds the paper's open-loop sources and
+    wires nothing else — the run is byte-identical to the pre-feedback
+    kernel.  ``"adaptive"`` additionally builds one
+    :class:`~repro.net.feedback.FlowFeedback` channel, hands it to the
+    protocol (delivery/drop/timeout reports) and the MAC (retry-
+    exhausted drop reports), and subscribes every source to its own
+    flows.
+    """
+    tc = cfg.traffic
+    common = dict(
+        interval=cfg.send_interval,
+        size_bytes=cfg.packet_size,
+        max_packets=max_packets_per_pair,
+    )
+    if tc.model == "cbr":
+        return [
+            CbrSource(
+                engine, protocol.send_data, src, dst,
+                start_offset=1.0 + 0.1 * i, **common,
+            )
+            for i, (src, dst) in enumerate(pairs)
+        ], None
+
+    feedback = FlowFeedback()
+    protocol.feedback = feedback
+    network.mac.drop_listener = lambda flow: feedback.mac_drop(
+        flow, engine.now
+    )
+    kinds = (
+        DEFAULT_BACKOFF_KINDS
+        if tc.react_to_mac_drops
+        else frozenset({LOSS_DROP, LOSS_TIMEOUT})
+    )
+    sources = [
+        AdaptiveSource(
+            engine, protocol.send_data, src, dst,
+            start_offset=1.0 + 0.1 * i,
+            feedback=feedback,
+            min_interval=tc.min_interval,
+            max_interval=tc.max_interval,
+            backoff_factor=tc.backoff_factor,
+            recovery_step=tc.recovery_step,
+            backoff_kinds=kinds,
+            **common,
+        )
+        for i, (src, dst) in enumerate(pairs)
+    ]
+    return sources, feedback
 
 
 def choose_pairs(
@@ -273,19 +386,10 @@ def _run_experiment(
     engine.run(until=0.5)  # let the first beacons populate tables
 
     pairs = choose_pairs(cfg, engine)
-    sources = [
-        CbrSource(
-            engine,
-            protocol.send_data,
-            src,
-            dst,
-            interval=cfg.send_interval,
-            size_bytes=cfg.packet_size,
-            max_packets=max_packets_per_pair,
-            start_offset=1.0 + 0.1 * i,
-        )
-        for i, (src, dst) in enumerate(pairs)
-    ]
+    sources, feedback = build_traffic(
+        cfg, engine, protocol, network, pairs,
+        max_packets_per_pair=max_packets_per_pair,
+    )
 
     engine.run(until=cfg.duration)
     for s in sources:
@@ -305,6 +409,8 @@ def _run_experiment(
         network=network,
         engine=engine,
         pairs=pairs,
+        sources=sources,
+        feedback=feedback,
     )
 
 

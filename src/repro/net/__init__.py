@@ -8,13 +8,14 @@ container that wires nodes, mobility, and the event engine together.
 """
 
 from repro.net.energy import EnergyModel
+from repro.net.feedback import FlowFeedback
 from repro.net.mac import Mac80211Dcf, MacOutcome
 from repro.net.neighbor_table import NeighborEntry, NeighborTable
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packet import Packet, PacketKind
 from repro.net.radio import RadioModel
-from repro.net.traffic import CbrSource
+from repro.net.traffic import AdaptiveSource, CbrSource
 
 __all__ = [
     "Packet",
@@ -26,6 +27,8 @@ __all__ = [
     "NeighborTable",
     "NeighborEntry",
     "CbrSource",
+    "AdaptiveSource",
+    "FlowFeedback",
     "Network",
     "EnergyModel",
 ]

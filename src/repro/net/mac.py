@@ -18,10 +18,16 @@ tracks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.net.radio import RadioModel
+
+#: Called the instant a unicast exhausts its retry limit, with the
+#: metrics flow id of the dropped frame (``None`` for control traffic).
+#: Fires synchronously with the ``drops_total`` increment.
+DropListener = Callable[[int | None], None]
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,10 @@ class Mac80211Dcf:
         self.attempts_total = 0
         self.collisions_total = 0
         self.drops_total = 0
+        #: optional per-flow drop hook (see :data:`DropListener`);
+        #: purely observational — the MAC never acts on it, so leaving
+        #: it unset changes nothing.
+        self.drop_listener: DropListener | None = None
 
     # ------------------------------------------------------------------
     def _attempt_failure_prob(self, local_load: float) -> float:
@@ -101,12 +111,19 @@ class Mac80211Dcf:
 
     # ------------------------------------------------------------------
     def unicast(
-        self, payload_bytes: int, distance_m: float, local_load: float
+        self,
+        payload_bytes: int,
+        distance_m: float,
+        local_load: float,
+        flow: int | None = None,
     ) -> MacOutcome:
         """Simulate an acknowledged unicast exchange.
 
         Returns the total delay including failed attempts; ``success``
-        is ``False`` when the retry limit is exhausted.
+        is ``False`` when the retry limit is exhausted.  ``flow``
+        optionally tags the exchange with a metrics flow id; a
+        retry-exhausted drop then reports it through
+        :attr:`drop_listener` at the moment ``drops_total`` increments.
         """
         airtime = self.radio.tx_time(payload_bytes)
         ack_time = self.radio.tx_time(self.ack_bytes)
@@ -121,6 +138,8 @@ class Mac80211Dcf:
                 return MacOutcome(True, delay, attempt + 1)
             self.collisions_total += 1
         self.drops_total += 1
+        if self.drop_listener is not None:
+            self.drop_listener(flow)
         return MacOutcome(False, delay, self.max_retries + 1)
 
     def broadcast(self, payload_bytes: int, local_load: float) -> MacOutcome:

@@ -359,7 +359,7 @@ class Network:
             reason = "out-of-range"
         else:
             outcome = self.mac.unicast(
-                packet.size_bytes, dist, self._local_load(spos)
+                packet.size_bytes, dist, self._local_load(spos), flow=flow
             )
             reason = "retry-exhausted"
 

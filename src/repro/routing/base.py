@@ -16,6 +16,7 @@ from typing import Callable
 from repro.crypto.cost_model import CryptoCostModel
 from repro.experiments.metrics import MetricsCollector
 from repro.location.service import LocationService
+from repro.net.feedback import FlowFeedback
 from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.packet import Packet, PacketKind
@@ -52,6 +53,11 @@ class RoutingProtocol(ABC):
         self.engine = network.engine
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.cost = cost_model if cost_model is not None else CryptoCostModel()
+        #: optional per-flow delivery-feedback channel for closed-loop
+        #: traffic; assigned by the harness (see ``runner.py``) so
+        #: protocol constructors stay unchanged.  Purely observational:
+        #: reporting consumes no randomness and schedules nothing.
+        self.feedback: FlowFeedback | None = None
         network.tx_listener = self.metrics.record_tx
         for node in network.nodes:
             node.on_receive = self._dispatch
@@ -108,11 +114,27 @@ class RoutingProtocol(ABC):
             self.metrics.record_delivery(
                 packet.flow_id, self.engine.now, path=packet.trace
             )
+            if self.feedback is not None:
+                self.feedback.delivery(packet.flow_id, self.engine.now)
 
     def _dropped(self, packet: Packet, reason: str) -> None:
         """Record a terminal drop."""
         if packet.flow_id is not None:
             self.metrics.record_drop(packet.flow_id, reason)
+            if self.feedback is not None:
+                self.feedback.drop(packet.flow_id, reason, self.engine.now)
+
+    def _report_link_failure(self, packet: Packet, reason: str) -> None:
+        """Report a non-terminal per-hop link failure to feedback."""
+        if self.feedback is not None and packet.flow_id is not None:
+            self.feedback.link_failure(
+                packet.flow_id, reason, self.engine.now
+            )
+
+    def _report_timeout(self, flow_id: int | None) -> None:
+        """Report an end-to-end confirmation timeout to feedback."""
+        if self.feedback is not None:
+            self.feedback.timeout(flow_id, self.engine.now)
 
     def _mark_participant(self, packet: Packet, node_id: int) -> None:
         """Record ``node_id`` as an actual participant for this flow."""

@@ -307,6 +307,7 @@ class GpsrProtocol(RoutingProtocol):
     ) -> None:
         """Blacklist the failed neighbor and retry from the same node."""
         hdr: GpsrHeader = packet.header
+        self._report_link_failure(packet, reason)
         node.neighbors.remove(choice.link_address)
         hdr.retries += 1
         hdr.ttl += 1  # the failed hop did not advance the packet

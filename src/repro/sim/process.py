@@ -103,6 +103,25 @@ class PeriodicTask:
             self._displace(first), self._tick, category=category
         )
 
+    @property
+    def interval(self) -> float:
+        """The current nominal period in seconds."""
+        return self._interval
+
+    def set_interval(self, interval: float) -> None:
+        """Change the period for *future* ticks.
+
+        The already-scheduled next tick keeps its time; the tick after
+        it is booked at the new interval.  Adaptive traffic sources use
+        this to widen/narrow their send spacing on loss feedback
+        without perturbing the pending schedule entry (rescheduling
+        would consume an extra engine sequence number and shift
+        same-time tie-breaking).
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self._interval = interval
+
     def _displace(self, base: float) -> float:
         if self._jitter <= 0:
             return base

@@ -22,7 +22,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ExperimentConfig, TrafficConfig
 from repro.experiments.runner import RunResult, run_experiment
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
@@ -60,6 +60,26 @@ GOLDEN_CONFIGS = {
         n_pairs=20,
         seed=11,
     ),
+    # Closed-loop traffic config: congested enough that AIMD backoff
+    # actually fires, so the trace pins the whole feedback loop — MAC
+    # drop hooks, delivery/timeout reporting, interval arithmetic —
+    # not just the open-loop kernel.
+    "alert_adaptive": ExperimentConfig(
+        protocol="ALERT",
+        n_nodes=50,
+        field_size=350.0,
+        duration=8.0,
+        n_pairs=10,
+        send_interval=0.1,
+        seed=13,
+        traffic=TrafficConfig(
+            model="adaptive",
+            min_interval=0.05,
+            max_interval=1.0,
+            backoff_factor=1.5,
+            recovery_step=0.25,
+        ),
+    ),
 }
 
 
@@ -67,7 +87,7 @@ def trace_summary(result: RunResult) -> dict:
     """The comparison record: every end-to-end observable, floats via
     ``repr`` so the comparison is bit-exact, not approximate."""
     m = result.metrics
-    return {
+    summary = {
         "events_processed": result.engine.events_processed,
         "packets_sent": m.packets_sent,
         "delivery_rate": repr(result.delivery_rate),
@@ -81,6 +101,17 @@ def trace_summary(result: RunResult) -> dict:
         "airtime_rx_s": repr(result.network.airtime_rx_s),
         "counters": {k: repr(v) for k, v in sorted(m.counters.items())},
     }
+    if result.feedback is not None:
+        # closed-loop runs additionally pin the whole feedback loop;
+        # open-loop summaries are unchanged, so pre-existing golden
+        # entries compare byte for byte
+        summary["feedback"] = result.feedback.counters()
+        summary["backoff_events"] = result.backoff_events
+        summary["recovery_events"] = result.recovery_events
+        summary["final_intervals_s"] = [
+            repr(s.interval) for s in result.sources
+        ]
+    return summary
 
 
 def load_golden() -> dict:

@@ -84,6 +84,47 @@ class TestMacUnicast:
         assert late > early
 
 
+class TestMacDropListener:
+    def _mac(self, seed=0, **kw):
+        return Mac80211Dcf(RadioModel(), np.random.default_rng(seed), **kw)
+
+    def test_fires_synchronously_with_drops_total(self):
+        # The listener must observe the counter *already incremented*,
+        # once per drop, in the exact order drops happen — the contract
+        # FlowFeedback.mac_drop relies on.
+        mac = self._mac(max_retries=2)
+        seen = []
+        mac.drop_listener = lambda flow: seen.append((flow, mac.drops_total))
+        outcomes = [
+            mac.unicast(512, 100.0, 1000.0, flow=i) for i in range(200)
+        ]
+        failures = [i for i, o in enumerate(outcomes) if not o.success]
+        assert failures  # hopeless load: retry exhaustion happened
+        assert mac.drops_total == len(failures)
+        assert seen == [
+            (flow, n) for n, flow in enumerate(failures, start=1)
+        ]
+
+    def test_control_frames_report_none_flow(self):
+        mac = self._mac(max_retries=1)
+        seen = []
+        mac.drop_listener = seen.append
+        while mac.drops_total == 0:
+            mac.unicast(512, 100.0, 1000.0)  # no flow id (control)
+        assert seen == [None] * mac.drops_total
+
+    def test_listener_does_not_perturb_rng(self):
+        # Wiring feedback must never change MAC outcomes: same seed,
+        # with and without a listener, gives identical exchanges.
+        plain = self._mac(seed=8, max_retries=2)
+        hooked = self._mac(seed=8, max_retries=2)
+        hooked.drop_listener = lambda flow: None
+        a = [plain.unicast(512, 100.0, 30.0, flow=i) for i in range(300)]
+        b = [hooked.unicast(512, 100.0, 30.0, flow=i) for i in range(300)]
+        assert a == b
+        assert plain.drops_total == hooked.drops_total
+
+
 class TestMacBroadcast:
     def test_single_attempt(self):
         mac = Mac80211Dcf(RadioModel(), np.random.default_rng(2))

@@ -339,3 +339,69 @@ class TestReEntrantSameTimeOrder:
             ("rec-spawned", "p"),
             "cb-spawned",
         ]
+
+
+class TestSynchronousFeedbackOrder:
+    """FlowFeedback dispatch is synchronous: a report made inside an
+    engine event fires its listener before the engine moves on, so a
+    traffic source observes feedback interleaved with both engine lanes
+    in exact event-time order — never batched, reordered, or delayed
+    to a later timestamp.  (The golden-trace suite relies on the flip
+    side: dispatch schedules nothing, so wiring feedback into a run
+    adds no engine events.)"""
+
+    class _Listener:
+        def __init__(self, order):
+            self.order = order
+
+        def on_flow_delivery(self, flow_id, now):
+            self.order.append(("delivery", flow_id, now))
+
+        def on_flow_loss(self, flow_id, kind, now):
+            self.order.append((kind, flow_id, now))
+
+    def test_feedback_interleaves_with_both_lanes(self):
+        from repro.net.feedback import FlowFeedback
+
+        eng = Engine()
+        fb = FlowFeedback()
+        order = []
+        listener = self._Listener(order)
+        fb.register(1, listener)
+        fb.register(2, listener)
+        eng.schedule_at(1.0, lambda: fb.mac_drop(1, eng.now))
+        eng.schedule_deliver(1.0, _StubNode(order, "node"), "pkt")
+        eng.schedule_at(1.0, lambda: order.append("plain"))
+        eng.schedule_at(2.0, lambda: fb.delivery(2, eng.now))
+        before = eng.events_processed
+        eng.run()
+        # feedback fired inside its producing events, in lane order,
+        # stamped with the producing event's time
+        assert order == [
+            ("mac-drop", 1, 1.0),
+            ("node", "pkt"),
+            "plain",
+            ("delivery", 2, 2.0),
+        ]
+        # dispatch itself added no engine events: 4 scheduled, 4 run
+        assert eng.events_processed - before == 4
+
+    def test_terminal_feedback_inside_event_releases_immediately(self):
+        from repro.net.feedback import FlowFeedback
+
+        eng = Engine()
+        fb = FlowFeedback()
+        order = []
+        fb.register(5, self._Listener(order))
+
+        def deliver_then_duplicate():
+            fb.delivery(5, eng.now)
+            fb.delivery(5, eng.now)  # same-event duplicate: ignored
+
+        eng.schedule_at(1.0, deliver_then_duplicate)
+        eng.schedule_at(1.0, lambda: fb.timeout(5, eng.now))
+        eng.run()
+        # the flow was released by its first terminal event, so the
+        # same-time timeout event no longer reaches the listener
+        assert order == [("delivery", 5, 1.0)]
+        assert fb.deliveries == 2 and fb.timeouts == 1

@@ -30,6 +30,28 @@ class TestCbrSource:
         eng.run(until=60.0)
         assert len(sent) == 3
 
+    def test_max_packets_leaves_no_pending_tick(self):
+        # Regression: the source used to book one more periodic tick
+        # after the final packet, leaving a live event on the heap long
+        # after the flow finished (and inflating drain-time workloads).
+        eng = Engine()
+        sent = []
+        CbrSource(eng, lambda s, d, n: sent.append(eng.now), 0, 1,
+                  interval=1.0, max_packets=3, start_offset=0.5)
+        eng.run(until=60.0)
+        assert sent == [0.5, 1.5, 2.5]
+        assert eng.pending() == 0
+        assert eng.events_processed == 3  # one event per packet, no extras
+
+    def test_max_packets_zero_sends_nothing_and_drains(self):
+        eng = Engine()
+        sent = []
+        CbrSource(eng, lambda s, d, n: sent.append(1), 0, 1,
+                  interval=1.0, max_packets=0)
+        eng.run(until=10.0)
+        assert sent == []
+        assert eng.pending() == 0
+
     def test_stop(self):
         eng = Engine()
         sent = []
