@@ -15,9 +15,13 @@ packet latency.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.crypto.cipher import PublicKeyCipher
 from repro.crypto.cost_model import CryptoCostModel
+from repro.geometry.primitives import Point
 from repro.location.server import LocationRecord, LocationServer
+from repro.mobility.base import positions_at
 from repro.net.network import Network
 from repro.sim.process import PeriodicTask
 
@@ -94,24 +98,32 @@ class LocationService:
 
         One update round is ``N`` records fanned out to ``N_L``
         replicas — ``N·N_L`` stores, the service's dominant cost at
-        large ``N``.  Records are built once (same per-node
-        ``position(now)`` calls, in the same node order, as the scalar
-        :meth:`_write` loop — identical RNG draws) and each server
-        merges the round in one :meth:`LocationServer.store_many` call.
-        Resulting tables and write/replication counter totals are
-        identical to per-record stores; only the per-call dispatch is
-        gone.
+        large ``N``.  Positions for the whole population come from one
+        :func:`positions_at` pass: models are visited in node order, so
+        every trajectory extension draws exactly what per-node
+        ``position(now)`` calls would (and nodes whose trajectory
+        already covers ``now`` draw nothing, same as the warm-cache
+        scalar path).  Each node's position cache is primed with its
+        fix, leaving per-node state as the scalar loop would.  Each
+        server then merges the round in one
+        :meth:`LocationServer.store_many` call; resulting tables and
+        write/replication counter totals are identical to per-record
+        stores.
         """
         now = self.network.engine.now
-        records = {
-            node.id: LocationRecord(
+        nodes = self.network.nodes
+        pos = np.empty((len(nodes), 2), dtype=np.float64)
+        positions_at([node.mobility for node in nodes], now, out=pos)
+        records: dict[int, LocationRecord] = {}
+        for node, xy in zip(nodes, pos.tolist()):
+            p = Point(xy[0], xy[1])
+            node.prime_position(now, p)
+            records[node.id] = LocationRecord(
                 node_id=node.id,
-                position=node.position(now),
+                position=p,
                 public_key=node.keypair.public,
                 updated_at=now,
             )
-            for node in self.network.nodes
-        }
         n_servers = len(self.servers)
         n = len(records)
         # Node i homes at server i % N_L, so server s owns ceil/floor

@@ -22,6 +22,21 @@ Design constraints (enforced by the golden-trace suite):
 * terminal-once — a flow's first delivery or terminal drop releases its
   registration, so duplicate zone-broadcast receptions cannot feed a
   source twice.
+
+Registration-ordering contract
+------------------------------
+Because reporting is synchronous, several producers can fire *inside*
+the ``send_data`` call that originates the flow: the MAC drop hook
+(``runner`` wires ``mac.drop_listener`` straight to :meth:`mac_drop`)
+and the routing layer's link-failure and terminal-drop reports all sit
+on the initiation path whenever crypto processing is charged at zero
+delay (cost-only mode, zero-cost models).  Only the confirmation
+timeout always arrives from a separately scheduled timer.  A source
+must therefore be registered *before* the packet is dispatched —
+``RoutingProtocol.send_data`` exposes the ``on_flow`` hook for exactly
+this — because registering on the return value misses any synchronous
+signal and, after a synchronous *terminal* event, would re-register a
+flow whose release already happened, pinning the dead entry forever.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ the identity).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Iterable
 
 import numpy as np
@@ -27,7 +28,7 @@ from repro.crypto.keys import PublicKey
 from repro.geometry.primitives import Point
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborEntry:
     """One row of a node's neighbor table."""
 
@@ -60,9 +61,47 @@ class NeighborTable:
         # Column view of the sorted rows (positions, last-seen) for the
         # batched forwarding path; rebuilt lazily alongside ``_sorted``.
         self._columns: tuple | None = None
+        # Deferred hello ingests: (entries, idx, lo, hi, base) slices
+        # queued by ``ingest_shared`` and materialised — in arrival
+        # order, so later rounds overwrite earlier ones exactly as an
+        # eager store would — on the first read or eager write.  Most
+        # nodes in a large field forward nothing between rounds, so
+        # their rows are never materialised at all.
+        self._pending: list[tuple] = []
+
+    def _apply_pending(self) -> None:
+        """Materialise queued ``ingest_shared`` slices in arrival order."""
+        table = self._entries
+        for entries, idx, lo, hi, base, addrs in self._pending:
+            if addrs is not None and base == 0:
+                # Hot path: gather addresses and rows with one C-level
+                # itemgetter each and merge via ``dict.update`` — same
+                # stores, same order, no per-row interpreter steps.
+                # ``idx`` may be a numpy array (the hello round shares
+                # one pair array per round); the slice is materialised
+                # here, per applied slice, not for the whole round.
+                if hi - lo > 1:
+                    rows = idx[lo:hi]
+                    if type(rows) is not list:
+                        rows = rows.tolist()
+                    g = itemgetter(*rows)
+                    table.update(zip(g(addrs), g(entries)))
+                else:
+                    t = idx[lo]
+                    table[addrs[t]] = entries[t]
+            elif addrs is None:
+                for t in idx[lo:hi]:
+                    e = entries[base + t]
+                    table[e.link_address] = e
+            else:
+                for t in idx[lo:hi]:
+                    table[addrs[t]] = entries[base + t]
+        self._pending.clear()
 
     def update(self, entry: NeighborEntry) -> None:
         """Insert or refresh the row for ``entry.link_address``."""
+        if self._pending:
+            self._apply_pending()
         self._entries[entry.link_address] = entry
         self._sorted = None
         self._columns = None
@@ -73,43 +112,61 @@ class NeighborTable:
         The hello round hands every receiver its in-range transmitters'
         shared per-round rows through this path.
         """
+        if self._pending:
+            self._apply_pending()
         table = self._entries
         for entry in entries:
             table[entry.link_address] = entry
         self._sorted = None
         self._columns = None
 
+    #: Queued ingest slices tolerated before an eager merge bounds the
+    #: held references (≈ one slice tuple per hello round).
+    _PENDING_MAX = 32
+
     def ingest_shared(
         self,
         entries: list[NeighborEntry],
-        idx: list[int],
+        idx: "list[int] | np.ndarray",
         lo: int,
         hi: int,
         base: int,
+        addrs: list[int] | None = None,
     ) -> None:
         """Store rows ``entries[base + t] for t in idx[lo:hi]``.
 
         The vectorised hello round hands every receiver a slice of one
-        shared per-round index list; taking the slice bounds here (one
-        method call per receiver, no intermediate row list) keeps the
-        ingest loop allocation-free.  Equivalent to ``bulk_update`` over
-        the same rows.
+        shared per-round index list.  The slice is queued, not stored:
+        materialisation happens on the table's next read (or eager
+        write), so nodes that make no forwarding decision between
+        rounds — the vast majority of a 10k-node field — never pay the
+        per-row dict stores at all.  Equivalent to ``bulk_update`` over
+        the same rows: application order is arrival order, so a later
+        round's row for the same address wins exactly as it would
+        eagerly.  ``addrs``, when given, carries
+        ``entries[base + t].link_address`` as ``addrs[t]`` (one shared
+        per-round list), sparing the materialisation loop an attribute
+        load per row.
         """
-        table = self._entries
-        for t in idx[lo:hi]:
-            e = entries[base + t]
-            table[e.link_address] = e
+        pending = self._pending
+        if len(pending) >= self._PENDING_MAX:
+            self._apply_pending()
+        pending.append((entries, idx, lo, hi, base, addrs))
         self._sorted = None
         self._columns = None
 
     def remove(self, link_address: int) -> None:
         """Drop a row (e.g., after repeated link-layer failures)."""
+        if self._pending:
+            self._apply_pending()
         if self._entries.pop(link_address, None) is not None:
             self._sorted = None
             self._columns = None
 
     def live_entries(self, now: float) -> list[NeighborEntry]:
         """All non-expired rows, sorted by link address (deterministic)."""
+        if self._pending:
+            self._apply_pending()
         rows = self._sorted
         if rows is None:
             rows = [e for _, e in sorted(self._entries.items())]
@@ -128,6 +185,8 @@ class NeighborTable:
         here — callers mask with ``last_seen >= now - ttl``, which is
         exactly :meth:`live_entries`'s cutoff predicate.
         """
+        if self._pending:
+            self._apply_pending()
         cols = self._columns
         if cols is None or self._sorted is None:
             rows = self._sorted
@@ -143,6 +202,8 @@ class NeighborTable:
 
     def get(self, link_address: int, now: float) -> NeighborEntry | None:
         """The live row for ``link_address``, or ``None``."""
+        if self._pending:
+            self._apply_pending()
         e = self._entries.get(link_address)
         if e is None or e.last_seen < now - self.ttl:
             return None
@@ -150,6 +211,8 @@ class NeighborTable:
 
     def purge(self, now: float) -> int:
         """Physically delete expired rows; returns how many were removed."""
+        if self._pending:
+            self._apply_pending()
         cutoff = now - self.ttl
         dead = [a for a, e in self._entries.items() if e.last_seen < cutoff]
         for a in dead:
@@ -160,4 +223,6 @@ class NeighborTable:
         return len(dead)
 
     def __len__(self) -> int:
+        if self._pending:
+            self._apply_pending()
         return len(self._entries)

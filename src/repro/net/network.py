@@ -23,7 +23,7 @@ from repro.crypto.keys import generate_keypair
 from repro.geometry.field import Field
 from repro.geometry.primitives import Point, Rect
 from repro.geometry.spatial_index import GridIndex
-from repro.mobility.base import MobilityModel, SnapshotInterpolator
+from repro.mobility.base import MobilityModel, SnapshotInterpolator, positions_at
 from repro.net.mac import Mac80211Dcf, MacOutcome
 from repro.net.neighbor_table import NeighborEntry
 from repro.net.node import Node
@@ -454,12 +454,18 @@ class Network:
         category = _event_category(packet)
         t_deliver = now + outcome.delay_s
         if on_delivered is None:
-            # Fast lane for the dominant fire-and-forget fan-out: one
-            # typed delivery record per receiver, no callable at all.
-            nodes = self.nodes
-            deliver = self.engine.schedule_deliver
-            for rid in receivers:
-                deliver(t_deliver, nodes[rid], packet.fork(), category=category)
+            # Fast lane for the dominant fire-and-forget fan-out: the
+            # whole co-temporal receiver block rides one batched
+            # delivery record (one heap entry, one reserved seq per
+            # receiver — ordering identical to per-receiver records).
+            if receivers:
+                nodes = self.nodes
+                self.engine.schedule_deliver_batch(
+                    t_deliver,
+                    [nodes[rid] for rid in receivers],
+                    [packet.fork() for _ in receivers],
+                    category=category,
+                )
             return receivers
         schedule = self.engine.schedule_at
         for rid in receivers:
@@ -507,15 +513,25 @@ class Network:
     def _emit_hello_round(self) -> None:
         """One beacon round: every live node advertises to its neighbors.
 
-        Batched: per-transmitter state (counters, the shared
-        :class:`NeighborEntry`) is still built in ascending node order —
-        pseudonym fuzz and trajectory extension draw from each node's
-        private stream in exactly the scalar sequence, with the snapshot
-        refreshed after the first transmitter's entry, where the scalar
-        path's ``neighbors_of`` would refresh it — but the in-range
-        test runs as a pairwise array pass instead of one grid query
-        per transmitter, and receiver tables ingest each round's rows
-        through :meth:`NeighborTable.ingest_shared`.  Below
+        Batched: the first transmitter's state is built exactly as the
+        scalar sequence (pseudonym fuzz draw, then position/trajectory
+        draw, then the round's snapshot refresh — where the scalar
+        path's ``neighbors_of`` would refresh it); the remaining
+        transmitters' pseudonyms are then drawn in ascending node order
+        and their positions come from one vectorised pass — read
+        straight off the snapshot when it was interpolated at exactly
+        this instant (bit-identical to ``Trajectory.at``, and the
+        refresh already extended every trajectory, so the scalar loop
+        would have drawn nothing), else batch-interpolated via
+        :func:`positions_at` over the same models in the same order
+        (identical draw sequence).  Per node the stream order is
+        pseudonym-then-position, as in the scalar loop; streams are
+        per-node (per-group for RPGM, which both passes visit in
+        ascending order), so cross-node interleaving is draw-order
+        neutral.  The in-range test runs as a pairwise array pass
+        instead of one grid query per transmitter, and receiver tables
+        ingest each round's rows through
+        :meth:`NeighborTable.ingest_shared`.  Below
         ``_GROUPED_HELLO_MIN`` transmitters the pass is all-pairs
         (chunked); above it, transmitters are grouped by grid cell via
         :meth:`GridIndex.grouped_candidates` so the arithmetic scales
@@ -534,29 +550,61 @@ class Network:
         if n_tx == 0:
             return
         hello_air = self.radio.tx_time(self.hello_size_bytes)
-        entries: list[NeighborEntry] = []
+        tx_list = tx_ids.tolist()
+        # First transmitter exactly as the scalar sequence: entry built
+        # (pseudonym draw, then position draw), then the round's
+        # snapshot refresh.
+        i0 = tx_list[0]
+        node0 = nodes[i0]
+        first = NeighborEntry(
+            link_address=i0,
+            pseudonym=node0.pseudonym_at(now),
+            position=node0.position(now),
+            public_key=node0.keypair.public,
+            last_seen=now,
+        )
+        snap_pos, snap_index = self.snapshot()
+        # Round counters in ascending order — the same sequence of
+        # float adds as the per-transmitter loop.
+        self.hello_tx += n_tx
+        air = self.airtime_tx_s
+        for i in tx_list:
+            nodes[i].tx_count += 1
+            air += hello_air
+        self.airtime_tx_s = air
+        rest = tx_list[1:]
+        pseudonyms = [nodes[i].pseudonym_at(now) for i in rest]
         centers = np.empty((n_tx, 2), dtype=np.float64)
-        snap_pos: np.ndarray | None = None
-        snap_index: GridIndex | None = None
-        for k in range(n_tx):
-            i = int(tx_ids[k])
-            node = nodes[i]
-            self.hello_tx += 1
-            node.tx_count += 1
-            self.airtime_tx_s += hello_air
-            entry = NeighborEntry(
-                link_address=i,
-                pseudonym=node.pseudonym_at(now),
-                position=node.position(now),
-                public_key=node.keypair.public,
-                last_seen=now,
+        p0 = first.position
+        centers[0, 0] = p0.x
+        centers[0, 1] = p0.y
+        if rest:
+            if self._snapshot_time == now:
+                # The snapshot was interpolated at exactly this instant
+                # (bit-identical to the trajectory read) and refreshing
+                # it extended every trajectory through ``now`` — the
+                # scalar position calls would replay these values with
+                # no further draws.
+                centers[1:] = snap_pos[tx_ids[1:]]
+            else:
+                # Snapshot still fresh from an earlier instant: batch-
+                # interpolate the transmitters at ``now`` (same models,
+                # ascending order — identical draw sequence to scalar
+                # ``position()`` calls).
+                positions_at(
+                    [nodes[i].mobility for i in rest], now, out=centers[1:]
+                )
+        # Positional construction (field order: link_address, pseudonym,
+        # position, public_key, last_seen) — this loop builds every
+        # advertised row of the round.
+        entries: list[NeighborEntry] = [first]
+        append = entries.append
+        for i, ps, xy in zip(rest, pseudonyms, centers[1:].tolist()):
+            append(
+                NeighborEntry(
+                    i, ps, Point(xy[0], xy[1]), nodes[i].keypair.public, now
+                )
             )
-            entries.append(entry)
-            p = entry.position
-            centers[k, 0] = p.x
-            centers[k, 1] = p.y
-            if snap_pos is None:
-                snap_pos, snap_index = self.snapshot()
         r = self.radio.range_m
         r2 = r * r
         round_rxs: list[np.ndarray] = []
@@ -572,12 +620,20 @@ class Network:
             # afterwards adds per-transmitter terms in the same
             # ascending order the chunked branch uses.
             counts = np.zeros(n_tx, dtype=np.int64)
+            # With no failed nodes (the common case) the per-group
+            # active filter is an identity copy — skip it wholesale.
+            all_active = bool(active.all())
             for q, cand in snap_index.grouped_candidates(centers, r):
-                cand = cand[active[cand]]
-                if cand.size == 0:
-                    continue
-                dx = snap_pos[cand, 0][:, None] - centers[q, 0]
-                dy = snap_pos[cand, 1][:, None] - centers[q, 1]
+                if not all_active:
+                    cand = cand[active[cand]]
+                    if cand.size == 0:
+                        continue
+                # one fancy-index gather per group; the column views
+                # reproduce the reference dx*dx + dy*dy term order
+                sp = snap_pos[cand]
+                cq = centers[q]
+                dx = sp[:, :1] - cq[:, 0]
+                dy = sp[:, 1:] - cq[:, 1]
                 dx *= dx
                 dy *= dy
                 dx += dy
@@ -588,8 +644,10 @@ class Network:
                 if rl.size:
                     round_rxs.append(cand[rl])
                     round_txs.append(q[tl])
-            for k in range(n_tx):
-                self.airtime_rx_s += hello_air * int(counts[k])
+            air_rx = self.airtime_rx_s
+            for c in counts.tolist():
+                air_rx += hello_air * c
+            self.airtime_rx_s = air_rx
         else:
             chunk = max(1, _PAIR_CHUNK_ELEMS // max(len(nodes), 1))
             sx = snap_pos[:, 0][:, None]
@@ -610,8 +668,10 @@ class Network:
                 in_range &= active[:, None]
                 in_range[tx_ids[s:e], np.arange(e - s)] = False
                 counts = in_range.sum(axis=0)
-                for k in range(e - s):
-                    self.airtime_rx_s += hello_air * int(counts[k])
+                air_rx = self.airtime_rx_s
+                for c in counts.tolist():
+                    air_rx += hello_air * c
+                self.airtime_rx_s = air_rx
                 rxs, txs = np.nonzero(in_range)
                 if rxs.size == 0:
                     continue
@@ -637,12 +697,16 @@ class Network:
             order = np.argsort(rxs, kind="stable")
             rxs = rxs[order]
             txs = txs[order]
+        # ``txs`` stays a numpy array: receivers that never read their
+        # table before the slice is superseded never pay to materialise
+        # their rows, so converting the whole round's pair list to
+        # Python ints up front would mostly be wasted.
         bounds = np.flatnonzero(np.diff(rxs)) + 1
-        txl = txs.tolist()
-        rxl = rxs.tolist()
         a = 0
-        for b in bounds.tolist() + [len(txl)]:
-            nodes[rxl[a]].neighbors.ingest_shared(entries, txl, a, b, 0)
+        for b in bounds.tolist() + [len(txs)]:
+            nodes[int(rxs[a])].neighbors.ingest_shared(
+                entries, txs, a, b, 0, addrs=tx_list
+            )
             a = b
 
     def _emit_hello_round_scalar(self) -> None:

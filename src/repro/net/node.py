@@ -104,6 +104,17 @@ class Node:
         self._pos_cache = p
         return p
 
+    def prime_position(self, t: float, p: Point) -> None:
+        """Seed the :meth:`position` cache with an externally computed fix.
+
+        Batched substrate passes (location-service write rounds) evaluate
+        whole populations through ``positions_at`` and hand each node its
+        value here, leaving the cache in the same state a scalar
+        ``position(t)`` call would have.
+        """
+        self._pos_at = t
+        self._pos_cache = p
+
     def pseudonym_at(self, t: float) -> bytes:
         """The node's valid pseudonym digest at ``t``."""
         return self.pseudonyms.current(t).digest

@@ -8,7 +8,10 @@ the harness wires this to
 value is the metrics flow id.
 
 :class:`AdaptiveSource` closes the loop: it registers every flow it
-originates with a :class:`~repro.net.feedback.FlowFeedback` channel and
+originates with a :class:`~repro.net.feedback.FlowFeedback` channel —
+through ``send_data``'s ``on_flow`` hook, i.e. *before* the packet is
+dispatched, since loss signals can fire synchronously inside the send
+call — and
 adjusts its send interval AIMD-style — multiplicative backoff on loss
 signals (MAC drops, terminal drops, confirmation timeouts), additive
 recovery on acknowledged delivery — clamped to
@@ -33,7 +36,11 @@ from repro.net.feedback import (
 from repro.sim.engine import Engine
 from repro.sim.process import PeriodicTask
 
-SendFn = Callable[[int, int, int], "int | None"]
+#: Protocol send callable.  Positionally ``(src, dst, size_bytes)``;
+#: closed-loop sources additionally pass an ``on_flow`` keyword (see
+#: :meth:`repro.routing.base.RoutingProtocol.send_data`) so they can
+#: register for feedback before the packet enters the network.
+SendFn = Callable[..., "int | None"]
 
 #: Loss kinds an :class:`AdaptiveSource` backs off on by default.
 #: Link failures are excluded: a blacklisted neighbor usually reflects
@@ -208,8 +215,24 @@ class AdaptiveSource(CbrSource):
         return self._task.interval
 
     def _emit(self) -> None:
-        flow_id = self._send(self.src, self.dst, self.size_bytes)
-        if self.feedback is not None and flow_id is not None:
+        # Registration must happen through the protocol's ``on_flow``
+        # hook, before the packet is dispatched: feedback reporting is
+        # synchronous, so a first-hop MAC drop (or an immediate
+        # no-route drop) fires *inside* the send call.  Registering on
+        # the returned flow id — the obvious shape — silently misses
+        # every such signal and, worse, leaves the flow registered
+        # forever because its terminal event already happened.
+        if self.feedback is None:
+            self._send(self.src, self.dst, self.size_bytes)
+        else:
+            self._send(
+                self.src, self.dst, self.size_bytes,
+                on_flow=self._register_flow,
+            )
+
+    def _register_flow(self, flow_id: int | None) -> None:
+        """Register a just-created flow for delivery feedback."""
+        if flow_id is not None:
             self.feedback.register(flow_id, self)
 
     # -- FlowListener ---------------------------------------------------
@@ -230,7 +253,12 @@ class AdaptiveSource(CbrSource):
             return
         current = self._task.interval
         if current < self.max_interval:
+            # ``backoff_events`` counts *interval changes*, mirroring
+            # ``recovery_events`` on the delivery side: a loss that
+            # arrives with the interval already pinned at
+            # ``max_interval`` changes nothing and is visible in
+            # ``losses`` alone.
+            self.backoff_events += 1
             self._task.set_interval(
                 min(current * self.backoff_factor, self.max_interval)
             )
-        self.backoff_events += 1

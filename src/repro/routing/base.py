@@ -65,17 +65,33 @@ class RoutingProtocol(ABC):
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def send_data(self, src: int, dst: int, size_bytes: int = 512) -> int:
+    def send_data(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: int = 512,
+        on_flow: Callable[[int], None] | None = None,
+    ) -> int:
         """Originate one data packet from ``src`` to ``dst``.
 
         Returns the metrics flow id.  Protocol subclasses implement
         the actual initiation in :meth:`_initiate`.
+
+        ``on_flow``, when given, receives the flow id *before* the
+        packet is handed to the protocol.  Feedback reporting is
+        synchronous — a MAC-layer drop or terminal no-route drop can
+        fire inside :meth:`_initiate`, before ``send_data`` returns —
+        so a caller that wants to observe its flow's feedback must
+        register through this hook rather than on the return value, or
+        it misses any signal raised during initiation.
         """
         if src == dst:
             raise ValueError("source and destination must differ")
         flow_id = self.metrics.start_flow(
             src, dst, self.engine.now, size_bytes, protocol=self.name
         )
+        if on_flow is not None:
+            on_flow(flow_id)
         packet = Packet(
             kind=PacketKind.DATA,
             src=src,

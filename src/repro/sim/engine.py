@@ -25,20 +25,57 @@ Cancelled events are counted live, making :meth:`pending` O(1), and
 the heap is compacted once more than half of it is dead so
 cancellation-heavy workloads (retransmit timers) cannot grow it
 unboundedly.
+
+Batch-execution fast lane
+-------------------------
+Two further structures take the large-field (10k-node) workloads out
+of the per-event heap churn without perturbing the global
+``(time, priority, seq)`` order:
+
+* a **calendar-queue timer lane** (:meth:`schedule_timer_in`) for the
+  strictly-periodic schedule — hello rounds, CBR/adaptive traffic
+  ticks, ALARM dissemination.  Entries land in coarse time buckets
+  (sorted only when their bucket is promoted) instead of sifting
+  through the heap; the pop loop fires whichever of (heap head,
+  calendar head) is globally smallest.  Sequence numbers come from the
+  same counter as every other lane, so the merge is a plain tuple
+  comparison and the firing order is identical to a single heap *by
+  construction*.
+* **batched delivery records** (:meth:`schedule_deliver_batch`) for
+  co-temporal broadcast fan-outs: one heap entry carries the whole
+  receiver block and reserves one sequence number per record, so the
+  block dispatches back-to-back exactly where ``n`` individual records
+  would have fired, at one heap push/pop for the lot.  ``stop()``
+  mid-block re-queues the unfired tail as individual records under
+  their reserved sequence numbers.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from math import isfinite
 from typing import Any, Callable
 
-from repro.sim.events import Event, EventHandle, OP_DELIVER
+from repro.sim.events import (
+    Event,
+    EventHandle,
+    LANE_TIMER,
+    OP_DELIVER,
+    OP_DELIVER_BATCH,
+)
 from repro.sim.rng import RngRegistry
 
 #: Compaction threshold: dead entries tolerated before a rebuild is
 #: even considered (amortises tiny heaps away).
 _COMPACT_MIN = 64
+
+#: Calendar-lane bucket width, seconds.  Periodic timers are spaced at
+#: O(1 s) intervals (hello beacons 1 s, CBR 2 s), so one bucket holds
+#: roughly one round's worth of ticks: big enough to amortise the
+#: per-bucket sort, small enough that a bucket never aggregates a
+#: large fraction of the schedule.
+_CAL_WIDTH = 1.0
 
 
 class SimulationError(RuntimeError):
@@ -54,6 +91,12 @@ class Engine:
         Master seed for the engine's :class:`~repro.sim.rng.RngRegistry`.
         Two engines constructed with the same seed and fed the same
         schedule produce identical trajectories.
+    timer_lane:
+        When ``True`` (default), :meth:`schedule_timer_in` routes
+        periodic timers through the calendar-queue lane; when
+        ``False`` they fall back to the binary heap.  Firing order is
+        identical either way (the parity suite pins this) — the flag
+        exists so tests can differentially compare the two.
 
     Notes
     -----
@@ -63,7 +106,7 @@ class Engine:
       ``time <= until`` and leaves ``now`` at ``until``.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, timer_lane: bool = True) -> None:
         self._now: float = 0.0
         # Heap of (time, priority, seq, fn, category, Event | None).
         self._heap: list[tuple] = []
@@ -71,6 +114,22 @@ class Engine:
         self._running: bool = False
         self._stopped: bool = False
         self._n_cancelled: int = 0
+        self._timer_lane = timer_lane
+        # Calendar-queue timer lane: coarse time buckets (unsorted
+        # until promoted), a key heap over pending buckets, and the
+        # promoted "current run" — an ascending-sorted list consumed
+        # through an index instead of pops.
+        self._cal_buckets: dict[int, list[tuple]] = {}
+        self._cal_keys: list[int] = []
+        self._cal_cur: list[tuple] = []
+        self._cal_cur_i: int = 0
+        self._cal_cur_key: int | None = None
+        self._cal_len: int = 0
+        self._cal_cancelled: int = 0
+        # Records represented by queued batch entries beyond the heap
+        # slots they occupy (n - 1 per n-record batch), kept live so
+        # ``pending()`` stays O(1) and exact mid-batch.
+        self._batch_extra: int = 0
         self.rng = RngRegistry(seed)
         #: number of events processed so far (diagnostic)
         self.events_processed: int = 0
@@ -180,17 +239,175 @@ class Engine:
             (time, priority, seq, OP_DELIVER, category, node, packet),
         )
 
+    def schedule_deliver_batch(
+        self,
+        time: float,
+        targets: list,
+        packets: list,
+        priority: int = 0,
+        category: str = "data",
+    ) -> None:
+        """Schedule a co-temporal block of delivery records as one entry.
+
+        The broadcast fast lane: all receivers of a one-hop fan-out
+        hear the frame at the same ``(time, priority)``, so the block
+        rides a single heap entry instead of ``len(targets)`` pushes.
+        One sequence number is reserved *per record*, which makes the
+        global firing order — including anything scheduled re-entrantly
+        at the same instant — exactly what individual
+        :meth:`schedule_deliver` calls in the same order would produce.
+        ``events_processed``, per-category counts, and :meth:`pending`
+        all account per record, and :meth:`stop` between two records of
+        a block re-queues the unfired tail as individual records under
+        their reserved sequence numbers.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is in the past or not finite, or the lists'
+            lengths differ.
+        """
+        if not isfinite(time):
+            raise SimulationError(f"non-finite event time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} < now={self._now:.6f}"
+            )
+        n = len(targets)
+        if n != len(packets):
+            raise SimulationError(
+                f"batch length mismatch: {n} targets, {len(packets)} packets"
+            )
+        if n == 0:
+            return
+        seq = self._seq
+        self._seq = seq + n
+        if n == 1:
+            heapq.heappush(
+                self._heap,
+                (time, priority, seq, OP_DELIVER, category, targets[0], packets[0]),
+            )
+            return
+        heapq.heappush(
+            self._heap,
+            (time, priority, seq, OP_DELIVER_BATCH, category, targets, packets),
+        )
+        self._batch_extra += n - 1
+
+    def schedule_timer_in(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        category: str = "timer",
+    ) -> EventHandle:
+        """Schedule a periodic-timer callback ``delay`` seconds from now.
+
+        The calendar-queue lane for strictly-periodic schedules (hello
+        rounds, traffic ticks): entries land in coarse time buckets
+        that are sorted only when promoted, so a tick costs O(bucket)
+        appends instead of a full-heap sift.  The sequence number comes
+        from the same counter as every other lane and the pop loop
+        fires the globally smallest ``(time, priority, seq)`` across
+        both structures, so the firing order is identical to
+        :meth:`schedule_in` by construction.  Always cancellable.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = self._now + delay
+        if not isfinite(time):
+            raise SimulationError(f"non-finite event time {time!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        if not self._timer_lane:
+            ev = Event(time=time, priority=priority, seq=seq, fn=fn)
+            heapq.heappush(self._heap, (time, priority, seq, fn, category, ev))
+            return EventHandle(ev, self)
+        ev = Event(
+            time=time, priority=priority, seq=seq, fn=fn, lane=LANE_TIMER
+        )
+        self._cal_push((time, priority, seq, fn, category, ev))
+        return EventHandle(ev, self)
+
+    # ------------------------------------------------------------------
+    # calendar-lane internals
+    # ------------------------------------------------------------------
+    def _cal_push(self, entry: tuple) -> None:
+        """File a timer entry into its calendar bucket."""
+        self._cal_len += 1
+        key = int(entry[0] / _CAL_WIDTH)
+        cur_key = self._cal_cur_key
+        if cur_key is not None:
+            if key == cur_key:
+                # Same bucket as the promoted run: keep the unfired
+                # tail sorted (times are >= now, so the insertion point
+                # is at or after the consumption index).
+                insort(self._cal_cur, entry, lo=self._cal_cur_i)
+                return
+            if key < cur_key:
+                # The clock still trails the promoted bucket and a new
+                # timer landed before it: demote the run's unfired tail
+                # and let the next peek re-promote in key order.
+                rem = self._cal_cur[self._cal_cur_i :]
+                if rem:
+                    b = self._cal_buckets.get(cur_key)
+                    if b is None:
+                        self._cal_buckets[cur_key] = rem
+                        heapq.heappush(self._cal_keys, cur_key)
+                    else:
+                        b.extend(rem)
+                self._cal_cur = []
+                self._cal_cur_i = 0
+                self._cal_cur_key = None
+        b = self._cal_buckets.get(key)
+        if b is None:
+            self._cal_buckets[key] = [entry]
+            heapq.heappush(self._cal_keys, key)
+        else:
+            b.append(entry)
+
+    def _cal_peek(self) -> tuple | None:
+        """The smallest queued timer entry, or ``None`` (amortised O(1)).
+
+        Promotes the next non-empty bucket (sorting it once) when the
+        current run is exhausted.  May return a cancelled entry — the
+        pop loops skip those exactly as they do for the heap.
+        """
+        cur = self._cal_cur
+        i = self._cal_cur_i
+        if i < len(cur):
+            return cur[i]
+        keys = self._cal_keys
+        buckets = self._cal_buckets
+        while keys:
+            key = heapq.heappop(keys)
+            b = buckets.pop(key, None)
+            if b:
+                b.sort()
+                self._cal_cur = b
+                self._cal_cur_i = 0
+                self._cal_cur_key = key
+                return b[0]
+        return None
+
     # ------------------------------------------------------------------
     # cancellation bookkeeping
     # ------------------------------------------------------------------
-    def _note_cancelled(self) -> None:
+    def _note_cancelled(self, ev: Event | None = None) -> None:
         """An ``EventHandle`` cancelled a queued event (O(1) amortised).
 
         Keeps :meth:`pending` O(1) and compacts the heap when more than
         half of it is dead, so workloads that cancel most of what they
         schedule (retransmit timers under good link conditions) hold
         the heap at O(live events) instead of growing it unboundedly.
+        Calendar-lane cancellations are only counted: dead entries are
+        reconciled when their bucket drains, and their number is
+        bounded by the (small) periodic-task population, so the lane
+        needs no compaction.
         """
+        if ev is not None and ev.lane == LANE_TIMER:
+            self._cal_cancelled += 1
+            return
         self._n_cancelled += 1
         if (
             self._n_cancelled > _COMPACT_MIN
@@ -224,8 +441,26 @@ class Engine:
         """
         heap = self._heap
         counts = self.event_counts
-        while heap:
-            entry = heapq.heappop(heap)
+        while True:
+            entry = heap[0] if heap else None
+            timer = self._cal_peek() if self._cal_len else None
+            if timer is not None and (entry is None or timer < entry):
+                self._cal_cur_i += 1
+                self._cal_len -= 1
+                ev = timer[5]
+                if ev.cancelled:
+                    self._cal_cancelled -= 1
+                    continue
+                ev.fired = True
+                self._now = timer[0]
+                self.events_processed += 1
+                category = timer[4]
+                counts[category] = counts.get(category, 0) + 1
+                timer[3]()
+                return True
+            if entry is None:
+                return False
+            heapq.heappop(heap)
             fn = entry[3]
             if type(fn) is int:
                 # Typed delivery record: dispatch without a callback.
@@ -233,7 +468,28 @@ class Engine:
                 self.events_processed += 1
                 category = entry[4]
                 counts[category] = counts.get(category, 0) + 1
-                entry[5].deliver(entry[6])
+                if fn == OP_DELIVER:
+                    entry[5].deliver(entry[6])
+                    return True
+                # Batch record: one delivery per step; the unfired tail
+                # returns to the heap under its reserved seqs so the
+                # step granularity matches the unbatched engine.
+                targets = entry[5]
+                packets = entry[6]
+                self._batch_extra -= 1
+                if len(targets) == 2:
+                    heapq.heappush(
+                        heap,
+                        (entry[0], entry[1], entry[2] + 1, OP_DELIVER,
+                         entry[4], targets[1], packets[1]),
+                    )
+                else:
+                    heapq.heappush(
+                        heap,
+                        (entry[0], entry[1], entry[2] + 1, OP_DELIVER_BATCH,
+                         entry[4], targets[1:], packets[1:]),
+                    )
+                targets[0].deliver(packets[0])
                 return True
             ev = entry[5]
             if ev is not None:
@@ -247,7 +503,6 @@ class Engine:
             counts[category] = counts.get(category, 0) + 1
             fn()
             return True
-        return False
 
     def run(self, until: float | None = None) -> None:
         """Run until the queue drains or the clock passes ``until``.
@@ -259,23 +514,87 @@ class Engine:
         self._running = True
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
         counts = self.event_counts
         try:
-            while heap and not self._stopped:
-                entry = heap[0]
+            while not self._stopped:
+                entry = heap[0] if heap else None
+                if self._cal_len:
+                    # Inline peek of the calendar head; falls back to
+                    # the promoting path only when the current run is
+                    # exhausted.
+                    cur = self._cal_cur
+                    i = self._cal_cur_i
+                    timer = cur[i] if i < len(cur) else self._cal_peek()
+                else:
+                    timer = None
+                if timer is not None and (entry is None or timer < entry):
+                    # Calendar lane holds the globally smallest entry
+                    # (tuple comparison never passes seq — it's unique
+                    # across lanes).
+                    time_ = timer[0]
+                    if until is not None and time_ > until:
+                        break
+                    self._cal_cur_i += 1
+                    self._cal_len -= 1
+                    ev = timer[5]
+                    if ev.cancelled:
+                        self._cal_cancelled -= 1
+                        continue
+                    ev.fired = True
+                    self._now = time_
+                    self.events_processed += 1
+                    category = timer[4]
+                    counts[category] = counts.get(category, 0) + 1
+                    timer[3]()
+                    continue
+                if entry is None:
+                    break
                 time_ = entry[0]
                 if until is not None and time_ > until:
                     break
                 pop(heap)
                 fn = entry[3]
                 if type(fn) is int:
-                    # Typed delivery record (the dominant entry kind):
-                    # one direct method call, no callback indirection.
+                    if fn == OP_DELIVER:
+                        # Typed delivery record (the dominant entry
+                        # kind): one direct method call, no callback
+                        # indirection.
+                        self._now = time_
+                        self.events_processed += 1
+                        category = entry[4]
+                        counts[category] = counts.get(category, 0) + 1
+                        entry[5].deliver(entry[6])
+                        continue
+                    # Batch record: dispatch the co-temporal block
+                    # back-to-back.  Counters move per record, and a
+                    # stop() between records re-queues the unfired
+                    # tail as individual records under their reserved
+                    # sequence numbers.
                     self._now = time_
-                    self.events_processed += 1
+                    targets = entry[5]
+                    packets = entry[6]
+                    n = len(targets)
                     category = entry[4]
-                    counts[category] = counts.get(category, 0) + 1
-                    entry[5].deliver(entry[6])
+                    self._batch_extra += 1
+                    j = 0
+                    while j < n:
+                        self._batch_extra -= 1
+                        self.events_processed += 1
+                        counts[category] = counts.get(category, 0) + 1
+                        targets[j].deliver(packets[j])
+                        j += 1
+                        if self._stopped and j < n:
+                            priority = entry[1]
+                            seq0 = entry[2]
+                            for k in range(j, n):
+                                push(
+                                    heap,
+                                    (time_, priority, seq0 + k, OP_DELIVER,
+                                     category, targets[k], packets[k]),
+                                )
+                            self._batch_extra -= n - j
+                            break
                     continue
                 ev = entry[5]
                 if ev is not None:
@@ -301,8 +620,18 @@ class Engine:
     # introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued (O(1))."""
-        return len(self._heap) - self._n_cancelled
+        """Number of not-yet-cancelled events still queued (O(1)).
+
+        Counts per *record* across every lane: heap entries, calendar
+        timers, and each record a queued batch entry represents.
+        """
+        return (
+            len(self._heap)
+            - self._n_cancelled
+            + self._cal_len
+            - self._cal_cancelled
+            + self._batch_extra
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

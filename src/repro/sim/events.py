@@ -16,6 +16,21 @@ the receiver and packet in two trailing slots, eliminating the closure
 and argument-cell allocations a per-frame callback would cost.  Ordering
 is unchanged — records compare by the same ``(time, priority, seq)``
 prefix, and ``seq`` is unique so comparisons never reach the opcode.
+
+:data:`OP_DELIVER_BATCH` extends the idea to co-temporal fan-outs: a
+one-hop broadcast's receivers all hear the frame at the same
+``(time, priority)``, so the whole block rides one heap entry whose
+trailing slots hold the receiver and packet *lists*.  The entry
+reserves one sequence number per record (``seq .. seq + n - 1``), so
+its position in the global order — and the order of anything scheduled
+after it — is exactly what ``n`` individual records would produce.
+
+Scheduling lanes
+----------------
+Cancellable events additionally carry which engine structure holds
+them (:data:`LANE_HEAP` or :data:`LANE_TIMER`) so cancellation
+bookkeeping — live pending counts, heap compaction — can be attributed
+to the right lane.  The lane never affects ordering.
 """
 
 from __future__ import annotations
@@ -25,6 +40,14 @@ from typing import Any, Callable
 
 #: Opcode of a typed delivery record: ``entry[5].deliver(entry[6])``.
 OP_DELIVER: int = 0
+
+#: Opcode of a batched delivery record: ``entry[5]`` / ``entry[6]`` are
+#: equal-length lists of receivers and packets dispatched as one block.
+OP_DELIVER_BATCH: int = 1
+
+#: Lane markers for cancellable events (see ``Event.lane``).
+LANE_HEAP: int = 0
+LANE_TIMER: int = 1
 
 
 @dataclass(order=True, slots=True)
@@ -49,6 +72,9 @@ class Event:
     fn: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     fired: bool = field(default=False, compare=False)
+    #: which engine structure holds the entry (``LANE_HEAP`` or
+    #: ``LANE_TIMER``); bookkeeping only, never part of the ordering.
+    lane: int = field(default=LANE_HEAP, compare=False)
 
 
 class EventHandle:
@@ -88,7 +114,7 @@ class EventHandle:
             return
         ev.cancelled = True
         if self._engine is not None:
-            self._engine._note_cancelled()
+            self._engine._note_cancelled(ev)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"

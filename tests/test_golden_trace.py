@@ -60,6 +60,19 @@ GOLDEN_CONFIGS = {
         n_pairs=20,
         seed=11,
     ),
+    # Batch-lane guard: big enough (≥2000 nodes) that hello rounds and
+    # broadcast fan-outs exercise the calendar timer lane, batched
+    # OP_DELIVER_BATCH records, and lazy neighbor-table ingest at
+    # scale; the trace pins their by-construction ordering equivalence
+    # against the plain heap path.
+    "alert_rwp_2k": ExperimentConfig(
+        protocol="ALERT",
+        n_nodes=2000,
+        field_size=3162.3,
+        duration=5.0,
+        n_pairs=40,
+        seed=17,
+    ),
     # Closed-loop traffic config: congested enough that AIMD backoff
     # actually fires, so the trace pins the whole feedback loop — MAC
     # drop hooks, delivery/timeout reporting, interval arithmetic —

@@ -127,7 +127,36 @@ class TestAdaptiveArithmetic:
         assert src.interval == 3.0  # clamped, not 4.0
         src.on_flow_loss(3, LOSS_DROP, 0.0)
         assert src.interval == 3.0
-        assert src.backoff_events == 3  # saturated backoffs still count
+        # only the two losses that moved the interval count as backoff
+        # *events* — the saturated third shows up in ``losses`` alone
+        assert src.backoff_events == 2
+        assert src.losses == 3
+
+    def test_saturated_backoff_counts_losses_not_events(self):
+        """A loss at ``max_interval`` changes nothing and says so.
+
+        ``backoff_events`` mirrors ``recovery_events``: both count
+        actual interval changes.  Before the fix, losses arriving with
+        the interval already pinned at the clamp kept inflating
+        ``backoff_events``, so the counter could exceed the number of
+        changes the trajectory ever made.
+        """
+        src = _adaptive(
+            interval=1.0, max_interval=2.0, backoff_factor=4.0
+        )
+        src.on_flow_loss(1, LOSS_DROP, 0.0)  # 1.0 -> 2.0 (clamped)
+        assert src.interval == src.max_interval
+        assert src.backoff_events == 1
+        for i in range(5):  # pinned: five more losses, zero changes
+            src.on_flow_loss(2 + i, LOSS_TIMEOUT, 0.0)
+        assert src.interval == src.max_interval
+        assert src.backoff_events == 1
+        assert src.losses == 6
+        # symmetric with the delivery side: recovery at base is not an
+        # event either
+        src2 = _adaptive(interval=1.0)
+        src2.on_flow_delivery(1, 0.0)
+        assert src2.recovery_events == 0
 
     def test_recovery_floors_at_base_interval(self):
         src = _adaptive(
@@ -172,6 +201,76 @@ class TestAdaptiveArithmetic:
             _adaptive(interval=1.0, recovery_step=-0.1)
         with pytest.raises(ValueError):
             _adaptive(interval=1.0, backoff_kinds=frozenset({"bogus"}))
+
+
+class TestRegisterBeforeDispatch:
+    """Feedback registration must precede packet dispatch.
+
+    Feedback reporting is synchronous: a first-hop MAC drop or an
+    immediate no-route terminal drop fires *inside* the protocol's
+    send call.  The source therefore registers through ``send_data``'s
+    ``on_flow`` hook.  Before the fix it registered on the return
+    value — after any synchronous signal had already been swallowed —
+    so the loss never reached the source, and a synchronously-dropped
+    flow was re-registered dead, leaking its registration forever.
+    """
+
+    def test_synchronous_mac_drop_reaches_source(self):
+        eng = Engine()
+        fb = FlowFeedback()
+
+        def send(src, dst, size, on_flow=None):
+            if on_flow is not None:
+                on_flow(42)
+            fb.mac_drop(42, eng.now)  # first hop drops before returning
+            return 42
+
+        src = AdaptiveSource(
+            eng, send, 0, 1, interval=1.0, max_packets=1,
+            start_offset=0.5, feedback=fb,
+        )
+        eng.run(until=1.0)
+        assert src.sent == 1
+        assert src.losses == 1
+        assert src.backoff_events == 1
+        assert src.interval == 2.0
+        assert fb.registered(42)  # MAC drop is not terminal
+
+    def test_synchronous_terminal_drop_leaves_no_registration(self):
+        eng = Engine()
+        fb = FlowFeedback()
+
+        def send(src, dst, size, on_flow=None):
+            if on_flow is not None:
+                on_flow(7)
+            fb.drop(7, "no_route", eng.now)  # terminal, synchronous
+            return 7
+
+        src = AdaptiveSource(
+            eng, send, 0, 1, interval=1.0, max_packets=1,
+            start_offset=0.5, feedback=fb,
+        )
+        eng.run(until=1.0)
+        assert src.losses == 1
+        # the terminal signal consumed the registration; registering
+        # afterwards (the old ordering) would have left flow 7 pinned
+        # in the channel for the rest of the run
+        assert not fb.registered(7)
+
+    def test_open_loop_source_passes_no_hook(self):
+        eng = Engine()
+        calls: list[tuple] = []
+
+        def send(src, dst, size, on_flow=None):
+            calls.append((src, dst, size, on_flow))
+            return 1
+
+        AdaptiveSource(
+            eng, send, 0, 1, interval=1.0, max_packets=1,
+            start_offset=0.5, feedback=None,
+        )
+        eng.run(until=1.0)
+        assert calls == [(0, 1, 512, None)]
 
 
 EVENT = st.one_of(
