@@ -1,0 +1,243 @@
+"""MAC-layer microbenchmark: scalar vs batched contention resolution.
+
+PR 8's transmission pipeline resolves whole fan-outs through
+``Mac80211Dcf.unicast_batch`` / ``broadcast_batch`` — scalar-replay
+chains that issue the exact per-receiver RNG draws of the scalar loop
+(so golden traces stay bit-identical) while pricing airtime,
+propagation, and failure probabilities for the whole fan-out up front.
+This harness times both paths over identical seeded inputs and records
+the per-transmission cost of each, plus a parity verdict computed by
+replaying the same stream through both paths and comparing outcomes,
+counters, and the post-call generator state.
+
+Results land in the ``mac`` section of ``BENCH_perf.json`` (the default
+``--out`` merges into an existing report).  Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_mac.py          # full profile
+    PYTHONPATH=src python benchmarks/bench_mac.py --quick  # CI smoke
+
+or through pytest, which executes the quick profile and asserts the
+report is well-formed and parity holds.  Per-transmission costs are
+minima over reps (the least-interference estimator, same rationale as
+``bench_scale.py``); the CI gate in ``check_perf_regression.py``
+hard-fails on parity and bounds the batched path's cost against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.net.mac import Mac80211Dcf
+from repro.net.radio import RadioModel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: Seed for both the input generator and the MAC streams; distinct from
+#: the golden-trace / alert_run / scale seeds.
+MAC_SEED = 202
+
+#: Fan-out per batch call.  Large enough that the batch path's fixed
+#: vector setup is amortised the way a zone broadcast or holder-release
+#: fan-out amortises it, small enough to stay realistic for the paper's
+#: densities.
+FANOUT = 64
+
+#: (calls per rep, reps) for full and quick profiles.
+FULL_SHAPE = (200, 5)
+QUICK_SHAPE = (50, 3)
+
+
+def _make_mac(seed: int = MAC_SEED) -> Mac80211Dcf:
+    return Mac80211Dcf(
+        radio=RadioModel(), rng=np.random.default_rng(seed)
+    )
+
+
+def _inputs(calls: int, fanout: int) -> list[tuple]:
+    """Seeded per-call input arrays shared by every timed variant."""
+    rng = np.random.default_rng(MAC_SEED + 1)
+    out = []
+    for _ in range(calls):
+        distances = rng.uniform(5.0, 240.0, size=fanout)
+        loads = rng.integers(0, 7, size=fanout).astype(np.float64)
+        out.append((distances, distances.tolist(), loads, loads.tolist()))
+    return out
+
+
+def _time_unicast(
+    inputs: list[tuple], reps: int, batched: bool
+) -> float:
+    """Min-over-reps µs per transmission for the unicast path."""
+    n_tx = len(inputs) * len(inputs[0][0])
+    best = float("inf")
+    for _ in range(reps):
+        mac = _make_mac()
+        t0 = time.perf_counter()
+        if batched:
+            for dist, _, loads, _ in inputs:
+                mac.unicast_batch(512, dist, loads)
+        else:
+            for _, dist_l, _, loads_l in inputs:
+                for k in range(len(dist_l)):
+                    mac.unicast(512, dist_l[k], loads_l[k])
+        best = min(best, time.perf_counter() - t0)
+    return best / n_tx * 1e6
+
+
+def _time_broadcast(
+    inputs: list[tuple], reps: int, batched: bool
+) -> float:
+    """Min-over-reps µs per transmission for the broadcast path."""
+    n_tx = len(inputs) * len(inputs[0][0])
+    best = float("inf")
+    for _ in range(reps):
+        mac = _make_mac()
+        t0 = time.perf_counter()
+        if batched:
+            for _, _, loads, _ in inputs:
+                mac.broadcast_batch(512, loads)
+        else:
+            for _, _, _, loads_l in inputs:
+                for ld in loads_l:
+                    mac.broadcast(512, ld)
+        best = min(best, time.perf_counter() - t0)
+    return best / n_tx * 1e6
+
+
+def _parity(inputs: list[tuple]) -> bool:
+    """Replay the same stream through both paths; True iff bit-identical.
+
+    Covers outcomes (success/delay/attempts), all three counters, and
+    the post-call PCG64 state — the exact properties the Hypothesis
+    suite ``tests/test_batched_mac.py`` pins case by case.
+    """
+    scalar = _make_mac()
+    batch = _make_mac()
+    for dist, dist_l, loads, loads_l in inputs:
+        ref_u = [
+            scalar.unicast(512, dist_l[k], loads_l[k])
+            for k in range(len(dist_l))
+        ]
+        ref_b = [scalar.broadcast(512, ld) for ld in loads_l]
+        got_u = batch.unicast_batch(512, dist, loads)
+        got_b = batch.broadcast_batch(512, loads)
+        if ref_u != got_u or ref_b != got_b:
+            return False
+    if (
+        scalar.attempts_total != batch.attempts_total
+        or scalar.collisions_total != batch.collisions_total
+        or scalar.drops_total != batch.drops_total
+    ):
+        return False
+    return (
+        scalar._rng.bit_generator.state == batch._rng.bit_generator.state
+    )
+
+
+def run_mac(quick: bool = False) -> dict:
+    """Execute the microbenchmark and assemble the ``mac`` section."""
+    calls, reps = QUICK_SHAPE if quick else FULL_SHAPE
+    inputs = _inputs(calls, FANOUT)
+    section: dict = {
+        "quick": quick,
+        "seed": MAC_SEED,
+        "fanout": FANOUT,
+        "calls": calls,
+        "reps": reps,
+        "payload_bytes": 512,
+        "parity_ok": _parity(inputs),
+    }
+    for kind, timer in (
+        ("unicast", _time_unicast),
+        ("broadcast", _time_broadcast),
+    ):
+        scalar_us = timer(inputs, reps, batched=False)
+        batched_us = timer(inputs, reps, batched=True)
+        section[kind] = {
+            "scalar_us_per_tx": scalar_us,
+            "batched_us_per_tx": batched_us,
+            "speedup": scalar_us / batched_us,
+        }
+        print(
+            f"[mac] {kind}: scalar {scalar_us:.2f} µs/tx, "
+            f"batched {batched_us:.2f} µs/tx "
+            f"({scalar_us / batched_us:.2f}x), parity "
+            f"{'OK' if section['parity_ok'] else 'BROKEN'}",
+            flush=True,
+        )
+    return section
+
+
+def merge_report(out_path: Path, section: dict) -> dict:
+    """Write ``section`` as the ``mac`` key of the report at ``out_path``.
+
+    Merges into an existing ``BENCH_perf.json``; creates a minimal
+    standalone report when the file does not exist (the CI candidate
+    path).
+    """
+    if out_path.exists():
+        report = json.loads(out_path.read_text())
+    else:
+        report = {
+            "schema": 1,
+            "generated_unix": time.time(),
+            "host": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count(),
+                "machine": platform.machine(),
+            },
+        }
+    report["mac"] = section
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke: {QUICK_SHAPE[0]} calls x {QUICK_SHAPE[1]} reps",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPORT_PATH,
+        help=f"report path to merge into (default {REPORT_PATH})",
+    )
+    args = parser.parse_args(argv)
+    section = run_mac(quick=args.quick)
+    merge_report(args.out, section)
+    print(f"\nwrote mac section to {args.out}")
+    return 0 if section["parity_ok"] else 1
+
+
+def test_mac_harness_smoke(tmp_path):
+    """Quick profile runs end to end, parity holds, report well-formed."""
+    section = run_mac(quick=True)
+    assert section["parity_ok"] is True
+    for kind in ("unicast", "broadcast"):
+        point = section[kind]
+        assert point["scalar_us_per_tx"] > 0.0
+        assert point["batched_us_per_tx"] > 0.0
+        assert point["speedup"] == (
+            point["scalar_us_per_tx"] / point["batched_us_per_tx"]
+        )
+    out = tmp_path / "BENCH_perf.json"
+    report = merge_report(out, section)
+    assert json.loads(out.read_text())["mac"] == report["mac"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

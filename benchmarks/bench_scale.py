@@ -29,7 +29,10 @@ duration, so loop times are directly comparable.  Each point records
 both the mean and the *minimum* loop time over its reps; the gate
 prefers the minimum, which is the standard least-interference
 estimator and far less sensitive to scheduler noise than a mean of
-one or two draws.
+one or two draws.  Each population additionally runs in its own
+interpreter (see ``_bench_point_isolated``): allocator-arena history
+from earlier, smaller points measurably inflates later points' loop
+times when the whole sweep shares one process.
 """
 
 from __future__ import annotations
@@ -40,6 +43,8 @@ import json
 import math
 import os
 import platform
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -62,8 +67,12 @@ SCALE_SEED = 101
 SCALE_DURATION = 10.0
 
 #: Full-profile populations with their repetition counts; quick mode
-#: runs only the first point, at ``QUICK_REPS`` repetitions.
-SCALE_POINTS = ((1000, 2), (2000, 2), (5000, 1), (10000, 1))
+#: runs only the first point, at ``QUICK_REPS`` repetitions.  Three
+#: reps at the large points keep ``loop_min_s`` a usable estimator
+#: there — host-level scheduler noise arrives in multi-second bursts
+#: that can swallow two consecutive draws just when the runs are
+#: longest.
+SCALE_POINTS = ((1000, 2), (2000, 2), (5000, 3), (10000, 3))
 
 #: Reps for the CI quick point.  Three N=1000 runs cost ~2 s of wall
 #: clock and make ``loop_min_s`` a stable gate input; a single draw on
@@ -132,7 +141,33 @@ def bench_scale_point(n_nodes: int, reps: int) -> dict:
     }
 
 
-def run_scale(quick: bool = False) -> dict:
+def _bench_point_isolated(n_nodes: int, reps: int) -> dict:
+    """Run one scale point in a fresh interpreter.
+
+    Loop times drift upward over a long-lived process — each finished
+    run leaves the allocator's arenas more fragmented, and by the time
+    the N=10000 point runs at the tail of an in-process sweep its loop
+    is measurably (~10–20%) slower than the same run in a fresh
+    process.  Per-point isolation removes that cross-point interference
+    so every population is measured from the same cold-heap start.
+    """
+    out = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--point",
+            str(n_nodes),
+            "--reps",
+            str(reps),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def run_scale(quick: bool = False, isolate: bool = True) -> dict:
     """Execute the scaling sweep and assemble the ``scale`` section."""
     points = SCALE_POINTS[:1] if quick else SCALE_POINTS
     section: dict = {
@@ -141,7 +176,11 @@ def run_scale(quick: bool = False) -> dict:
         "sim_duration_s": SCALE_DURATION,
     }
     for n_nodes, reps in points:
-        point = bench_scale_point(n_nodes, QUICK_REPS if quick else reps)
+        reps = QUICK_REPS if quick else reps
+        if isolate:
+            point = _bench_point_isolated(n_nodes, reps)
+        else:
+            point = bench_scale_point(n_nodes, reps)
         section[f"n{n_nodes}"] = point
         print(
             f"[scale] N={n_nodes}: {point['us_per_event']:.1f} µs/event "
@@ -193,7 +232,26 @@ def main(argv: list[str] | None = None) -> int:
         default=REPORT_PATH,
         help=f"report path to merge into (default {REPORT_PATH})",
     )
+    parser.add_argument(
+        "--point",
+        type=int,
+        default=None,
+        help="internal: run one population in-process and print its "
+        "JSON point (used by the per-point isolation wrapper)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        help="repetitions for --point (defaults to the sweep's value)",
+    )
     args = parser.parse_args(argv)
+    if args.point is not None:
+        reps = args.reps
+        if reps is None:
+            reps = dict(SCALE_POINTS).get(args.point, 2)
+        print(json.dumps(bench_scale_point(args.point, reps)))
+        return 0
     section = run_scale(quick=args.quick)
     merge_report(args.out, section)
     print(f"\nwrote scale section to {args.out}")

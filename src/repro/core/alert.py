@@ -55,6 +55,12 @@ from repro.routing.gpsr import next_hop_greedy_batched
 from repro.sim.process import Timer
 
 
+#: Neighbor-table size at which ``_maybe_rebroadcast``'s suppression
+#: check runs over the cached column arrays instead of the per-entry
+#: scalar loop (same cutover idea as ``next_hop_greedy_batched``).
+_COLUMNS_MIN = 64
+
+
 def _rect_to_bytes(r: Rect) -> bytes:
     import struct
 
@@ -517,12 +523,32 @@ class AlertProtocol(RoutingProtocol):
         pos = node.position(now)
         center = hdr.zone_dst.center
         my_d = pos.sq_distance_to(center)
-        contains = hdr.zone_dst.contains
         threshold = my_d - 1e-9
-        for e in node.neighbors.live_entries(now):
-            ep = e.position
-            if contains(ep) and ep.sq_distance_to(center) < threshold:
+        table = node.neighbors
+        if len(table) >= _COLUMNS_MIN:
+            # Vectorised existence test over the cached column arrays:
+            # the same liveness cutoff, half-open containment, and
+            # two-term squared-distance float64 arithmetic as the
+            # scalar early-return loop, so the decision is identical.
+            rows, xs, ys, seen = table.columns()
+            zd = hdr.zone_dst
+            closer = xs - center.x
+            dy = ys - center.y
+            closer *= closer
+            dy *= dy
+            closer += dy
+            hit = closer < threshold
+            hit &= seen >= now - table.ttl
+            hit &= (xs >= zd.x0) & (xs < zd.x1)
+            hit &= (ys >= zd.y0) & (ys < zd.y1)
+            if hit.any():
                 return  # someone more central will do it
+        else:
+            contains = hdr.zone_dst.contains
+            for e in table.live_entries(now):
+                ep = e.position
+                if contains(ep) and ep.sq_distance_to(center) < threshold:
+                    return  # someone more central will do it
         branch = packet.fork()
         branch.header.zone_stage = 2
         self._mark_participant(packet, node.id)
@@ -536,6 +562,12 @@ class AlertProtocol(RoutingProtocol):
         state = self._holders.setdefault(hdr.session, HolderState())
 
         # Step 2 for the *previous* packet: holders release it now.
+        # Releases are prepared (scramble draws come from the protocol
+        # stream) and then transmitted as one fan-out: the MAC resolves
+        # every holder's contention in a single batched call — RNG
+        # streams are per-subsystem, so hoisting the MAC draws past the
+        # scramble draws is stream-neutral and the trace bit-identical.
+        releases: list[tuple[int, Packet, int | None]] = []
         for holder_id, held in state.holders:
             held_pkt: Packet = held  # type: ignore[assignment]
             release = held_pkt.fork()
@@ -553,7 +585,9 @@ class AlertProtocol(RoutingProtocol):
             release.payload = scrambled
             rhdr.bitmap_chain.append(bitmap)
             self.metrics.note("defense_releases")
-            self.network.local_broadcast(holder_id, release, flow=release.flow_id)
+            releases.append((holder_id, release, release.flow_id))
+        if releases:
+            self.network.broadcast_fanout(releases)
         state.holders = []
 
         # Step 1 for *this* packet: scramble and multicast to m members.

@@ -10,14 +10,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from typing import NamedTuple
 
 import numpy as np
 
 
-@dataclass(frozen=True, slots=True)
-class Point:
-    """An immutable point in the plane (metres)."""
+class Point(NamedTuple):
+    """An immutable point in the plane (metres).
+
+    A named tuple rather than a frozen dataclass: points are minted in
+    every position interpolation and every hello-round row, and the
+    tuple ``__new__`` builds one in a fraction of the cost of a frozen
+    dataclass ``__init__`` (which routes each field through
+    ``object.__setattr__``).  Field order is ``(x, y)``, so iteration,
+    equality, and ``hash`` match the former dataclass exactly
+    (``hash((x, y))``).
+    """
 
     x: float
     y: float
@@ -54,10 +62,6 @@ class Point:
     def as_array(self) -> np.ndarray:
         """This point as a shape-(2,) float64 array."""
         return np.array([self.x, self.y], dtype=np.float64)
-
-    def __iter__(self) -> Iterator[float]:
-        yield self.x
-        yield self.y
 
 
 @dataclass(frozen=True, slots=True)

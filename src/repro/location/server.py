@@ -36,6 +36,10 @@ class LocationServer:
     def __init__(self, server_id: int) -> None:
         self.id = server_id
         self._records: dict[int, LocationRecord] = {}
+        #: Whether ``_records`` is a full-round dict shared (by
+        #: reference) with peer servers via :meth:`adopt_round`; any
+        #: individual write copies before mutating.
+        self._round_shared = False
         self._alive = True
         #: write/read counters for the §4.3 overhead accounting
         self.writes = 0
@@ -63,6 +67,11 @@ class LocationServer:
         """
         if not self._alive:
             return
+        if self._round_shared:
+            # Copy-on-write: the table is shared with peers that
+            # adopted the same round — diverge privately.
+            self._records = dict(self._records)
+            self._round_shared = False
         self._records[record.node_id] = record
         if replicated:
             self.replications += 1
@@ -85,6 +94,33 @@ class LocationServer:
         if not self._alive:
             return
         self._records.update(records)
+        self.writes += home_count
+        self.replications += len(records) - home_count
+
+    def adopt_round(
+        self, records: dict[int, LocationRecord], home_count: int
+    ) -> None:
+        """Adopt a full update round *by reference* (no-op while failed).
+
+        ``records`` must cover the entire node population — exactly
+        what :meth:`LocationService._write_round` produces — so for a
+        server whose table is itself a (possibly older) full round,
+        ``update`` and wholesale replacement yield the same table, and
+        the round dict can be shared across all ``N_L`` replicas
+        instead of merged ``N`` records at a time into each.  A server
+        that diverged through individual :meth:`store` calls falls back
+        to the merge (extra keys must survive, exactly as
+        :meth:`store_many` would keep them); :meth:`store` on a shared
+        table copies before writing.  Resulting tables, reads, and
+        write/replication counters are identical to :meth:`store_many`.
+        """
+        if not self._alive:
+            return
+        if self._round_shared or not self._records:
+            self._records = records
+            self._round_shared = True
+        else:
+            self._records.update(records)
         self.writes += home_count
         self.replications += len(records) - home_count
 

@@ -15,13 +15,14 @@ packet latency.
 
 from __future__ import annotations
 
+from itertools import repeat
+
 import numpy as np
 
 from repro.crypto.cipher import PublicKeyCipher
 from repro.crypto.cost_model import CryptoCostModel
 from repro.geometry.primitives import Point
 from repro.location.server import LocationRecord, LocationServer
-from repro.mobility.base import positions_at
 from repro.net.network import Network
 from repro.sim.process import PeriodicTask
 
@@ -73,6 +74,10 @@ class LocationService:
         self._update_task: PeriodicTask | None = None
         self.lookups = 0
         self.failed_lookups = 0
+        # Write-round columns that never change between rounds (node
+        # ids, long-term public keys), gathered lazily on first use.
+        self._ids: list[int] | None = None
+        self._publics: list | None = None
 
         self._register_all()
         if updates_enabled:
@@ -105,25 +110,32 @@ class LocationService:
         already covers ``now`` draw nothing, same as the warm-cache
         scalar path).  Each node's position cache is primed with its
         fix, leaving per-node state as the scalar loop would.  Each
-        server then merges the round in one
-        :meth:`LocationServer.store_many` call; resulting tables and
-        write/replication counter totals are identical to per-record
-        stores.
+        server then adopts the round dict by reference in one
+        :meth:`LocationServer.adopt_round` call (copy-on-write against
+        individual stores); resulting tables and write/replication
+        counter totals are identical to per-record stores.
         """
         now = self.network.engine.now
         nodes = self.network.nodes
         pos = np.empty((len(nodes), 2), dtype=np.float64)
-        positions_at([node.mobility for node in nodes], now, out=pos)
-        records: dict[int, LocationRecord] = {}
-        for node, xy in zip(nodes, pos.tolist()):
-            p = Point(xy[0], xy[1])
+        self.network.batch_positions(now, out=pos)
+        # Positional map-construction keeps the per-node work (one
+        # Point, one record, one cache prime) inside C-level iteration;
+        # key generation never rotates, so the public-key column is
+        # gathered once and reused every round.
+        ids = self._ids
+        if ids is None:
+            ids = self._ids = [node.id for node in nodes]
+            self._publics = [node.keypair.public for node in nodes]
+        pts = list(map(Point, pos[:, 0].tolist(), pos[:, 1].tolist()))
+        for node, p in zip(nodes, pts):
             node.prime_position(now, p)
-            records[node.id] = LocationRecord(
-                node_id=node.id,
-                position=p,
-                public_key=node.keypair.public,
-                updated_at=now,
+        records: dict[int, LocationRecord] = dict(
+            zip(
+                ids,
+                map(LocationRecord, ids, pts, self._publics, repeat(now)),
             )
+        )
         n_servers = len(self.servers)
         n = len(records)
         # Node i homes at server i % N_L, so server s owns ceil/floor
@@ -131,7 +143,11 @@ class LocationService:
         base, extra = divmod(n, n_servers)
         for server in self.servers:
             home_count = base + (1 if server.id < extra else 0)
-            server.store_many(records, home_count)
+            # The round covers every node, so replicas adopt the one
+            # dict by reference (copy-on-write on any individual
+            # store) instead of merging N records into each of N_L
+            # tables — the service's former dominant cost at large N.
+            server.adopt_round(records, home_count)
 
     # ------------------------------------------------------------------
     def lookup(self, requester_id: int, target_id: int) -> LocationRecord:

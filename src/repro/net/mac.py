@@ -13,12 +13,39 @@ The collision probability per attempt follows the standard
 ``1 - exp(-load)`` thinning of concurrent in-flight transmissions in
 the sender's neighborhood, which the :class:`~repro.net.network.Network`
 tracks.
+
+RNG draw-order contract
+-----------------------
+Every golden trace depends on the MAC consuming its ``rng`` stream in
+exactly this order, so any batch path must replay it draw for draw:
+
+* ``unicast``: per attempt (up to ``max_retries + 1``), first one
+  ``integers(0, cw + 1)`` backoff-slot draw (``cw`` doubling from
+  ``cw_min`` and clamped at ``cw_max``), then one ``random()`` loss
+  coin-flip.  The chain stops at the first coin-flip that clears
+  ``p_fail`` — a successful exchange consumes exactly
+  ``2 × attempts`` draws, an exhausted one ``2 × (max_retries + 1)``.
+* ``broadcast``: one ``integers(0, cw_min + 1)`` draw, then one
+  ``random()`` draw — always exactly two.
+
+The interleaving (slot draw, then coin-flip, per attempt) means the
+draws of one exchange can never be hoisted into a single vector call:
+:meth:`unicast_batch` / :meth:`broadcast_batch` therefore run a
+*scalar-replay chain* — they issue the identical scalar draws in the
+identical per-receiver order, and vectorise only the arithmetic around
+them (airtime, propagation, failure probabilities, outcome assembly).
+The parity suite ``tests/test_batched_mac.py`` pins outcomes, counters,
+drop-listener order, and the post-call generator state against the
+scalar oracle.  ``_attempt_failure_prob`` memoises per distinct load
+value, so batch and scalar paths share the exact same ``np.exp``-derived
+floats (NumPy's vectorised ``exp`` is *not* bit-identical to its scalar
+path on every input, so the batch path must not re-derive them).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -28,6 +55,12 @@ from repro.net.radio import RadioModel
 #: metrics flow id of the dropped frame (``None`` for control traffic).
 #: Fires synchronously with the ``drops_total`` increment.
 DropListener = Callable[[int | None], None]
+
+#: Fan-out size at which the batch paths (``unicast_batch`` /
+#: ``broadcast_batch``) leave the scalar loop: below this the loop
+#: overhead is too small to amortise the vector setup.  Mirrors the
+#: cutover pattern of ``routing.gpsr.next_hop_greedy_batched``.
+_BATCH_MIN = 8
 
 
 @dataclass(frozen=True)
@@ -88,6 +121,16 @@ class Mac80211Dcf:
         self.ack_bytes = ack_bytes
         self.base_loss = base_loss
         self.collision_scale = collision_scale
+        #: ACK airtime is a run constant — hoisted out of ``unicast``,
+        #: which used to recompute ``radio.tx_time(ack_bytes)`` on
+        #: every call.
+        self._ack_airtime = radio.tx_time(ack_bytes)
+        #: ``_attempt_failure_prob`` memo keyed by load value.  Loads
+        #: are small in-flight *counts* (a handful of distinct floats
+        #: per run), so the dict stays tiny while sparing a transcendental
+        #: per exchange — and it guarantees batch paths reuse the exact
+        #: scalar-path floats (see module docstring).
+        self._pfail_cache: dict[float, float] = {}
         # counters (diagnostics / energy accounting)
         self.attempts_total = 0
         self.collisions_total = 0
@@ -99,9 +142,15 @@ class Mac80211Dcf:
 
     # ------------------------------------------------------------------
     def _attempt_failure_prob(self, local_load: float) -> float:
-        """Probability one attempt fails given concurrent load."""
-        p_col = 1.0 - float(np.exp(-max(local_load, 0.0) / self.collision_scale))
-        return min(p_col + self.base_loss, 0.95)
+        """Probability one attempt fails given concurrent load (memoised)."""
+        p = self._pfail_cache.get(local_load)
+        if p is None:
+            p_col = 1.0 - float(
+                np.exp(-max(local_load, 0.0) / self.collision_scale)
+            )
+            p = min(p_col + self.base_loss, 0.95)
+            self._pfail_cache[local_load] = p
+        return p
 
     def _backoff(self, attempt: int) -> float:
         """Backoff delay for the given retry number (0-based)."""
@@ -126,7 +175,7 @@ class Mac80211Dcf:
         :attr:`drop_listener` at the moment ``drops_total`` increments.
         """
         airtime = self.radio.tx_time(payload_bytes)
-        ack_time = self.radio.tx_time(self.ack_bytes)
+        ack_time = self._ack_airtime
         prop = self.radio.propagation_delay(distance_m)
         p_fail = self._attempt_failure_prob(local_load)
         delay = 0.0
@@ -155,3 +204,150 @@ class Mac80211Dcf:
             return MacOutcome(True, delay, 1)
         self.collisions_total += 1
         return MacOutcome(False, delay, 1)
+
+    # ------------------------------------------------------------------
+    # batch paths (scalar-replay chains — see module docstring)
+    # ------------------------------------------------------------------
+    def unicast_batch(
+        self,
+        payload_bytes: int | Sequence[int],
+        distances_m: Sequence[float] | np.ndarray,
+        local_loads: Sequence[float] | np.ndarray,
+        flows: Sequence[int | None] | None = None,
+    ) -> list[MacOutcome]:
+        """Resolve a fan-out of unicast exchanges, bit-identical to a
+        scalar loop over :meth:`unicast`.
+
+        ``payload_bytes`` may be one size shared by the whole fan-out or
+        a per-exchange sequence.  Airtime, propagation, and failure
+        probabilities are priced for all exchanges up front; the
+        data-dependent retry chains then replay the scalar draw order
+        per receiver (stop-on-success consumes exactly the same RNG
+        prefix).  Below ``_BATCH_MIN`` the scalar loop *is* the
+        implementation.
+        """
+        n = len(distances_m)
+        if flows is None:
+            flows = [None] * n
+        if n < _BATCH_MIN:
+            sizes = (
+                [payload_bytes] * n
+                if isinstance(payload_bytes, int)
+                else payload_bytes
+            )
+            return [
+                self.unicast(sizes[k], distances_m[k], local_loads[k], flows[k])
+                for k in range(n)
+            ]
+        tx_time = self.radio.tx_time
+        if isinstance(payload_bytes, int):
+            airtimes = [tx_time(payload_bytes)] * n
+        else:
+            airtimes = [tx_time(int(s)) for s in payload_bytes]
+        props = self.radio.propagation_delay_batch(
+            np.asarray(distances_m, dtype=np.float64)
+        ).tolist()
+        pfail = self._attempt_failure_prob
+        pfails = [pfail(float(ld)) for ld in local_loads]
+
+        rng_integers = self._rng.integers
+        rng_random = self._rng.random
+        cw_min = self.cw_min
+        cw_max = self.cw_max
+        slot_s = self.slot_s
+        difs_s = self.difs_s
+        sifs_ack = self.sifs_s + self._ack_airtime
+        last_attempt = self.max_retries
+        listener = self.drop_listener
+        attempts_total = self.attempts_total
+        collisions_total = self.collisions_total
+        outcomes: list[MacOutcome] = []
+        append = outcomes.append
+        for k in range(n):
+            airtime = airtimes[k]
+            prop = props[k]
+            p_fail = pfails[k]
+            delay = 0.0
+            cw = cw_min
+            attempt = 0
+            while True:
+                attempts_total += 1
+                # Same left-to-right association as the scalar path:
+                # ((difs + slots·slot) + airtime) + prop.
+                delay += (
+                    difs_s
+                    + int(rng_integers(0, cw + 1)) * slot_s
+                    + airtime
+                    + prop
+                )
+                if rng_random() >= p_fail:
+                    # Scalar adds (sifs + ack) + prop as one term.
+                    append(
+                        MacOutcome(True, delay + (sifs_ack + prop), attempt + 1)
+                    )
+                    break
+                collisions_total += 1
+                if attempt == last_attempt:
+                    # Flush the running counters before the listener
+                    # fires: it may observe them, and the scalar path
+                    # keeps them exact at every drop.
+                    self.attempts_total = attempts_total
+                    self.collisions_total = collisions_total
+                    self.drops_total += 1
+                    if listener is not None:
+                        listener(flows[k])
+                    append(MacOutcome(False, delay, attempt + 1))
+                    break
+                attempt += 1
+                cw = min(cw + cw, cw_max)
+        self.attempts_total = attempts_total
+        self.collisions_total = collisions_total
+        return outcomes
+
+    def broadcast_batch(
+        self,
+        payload_bytes: int | Sequence[int],
+        local_loads: Sequence[float] | np.ndarray,
+    ) -> list[MacOutcome]:
+        """Resolve a fan-out of independent broadcasts, bit-identical to
+        a scalar loop over :meth:`broadcast`.
+
+        Each broadcast consumes exactly two draws (slot, coin-flip),
+        replayed in per-sender order; airtimes and failure
+        probabilities are shared/memoised across the fan-out.
+        """
+        n = len(local_loads)
+        if n < _BATCH_MIN:
+            sizes = (
+                [payload_bytes] * n
+                if isinstance(payload_bytes, int)
+                else payload_bytes
+            )
+            return [
+                self.broadcast(sizes[k], local_loads[k]) for k in range(n)
+            ]
+        tx_time = self.radio.tx_time
+        if isinstance(payload_bytes, int):
+            airtimes = [tx_time(payload_bytes)] * n
+        else:
+            airtimes = [tx_time(int(s)) for s in payload_bytes]
+        pfail = self._attempt_failure_prob
+        pfails = [pfail(float(ld)) for ld in local_loads]
+        rng_integers = self._rng.integers
+        rng_random = self._rng.random
+        cw_hi = self.cw_min + 1
+        slot_s = self.slot_s
+        difs_s = self.difs_s
+        collisions = 0
+        outcomes: list[MacOutcome] = []
+        append = outcomes.append
+        for k in range(n):
+            delay = difs_s + int(rng_integers(0, cw_hi)) * slot_s + airtimes[k]
+            if rng_random() >= pfails[k]:
+                append(MacOutcome(True, delay, 1))
+            else:
+                collisions += 1
+                append(MacOutcome(False, delay, 1))
+        self.attempts_total += n
+        self.collisions_total += collisions
+        return outcomes

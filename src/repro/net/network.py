@@ -15,6 +15,7 @@ ALARM, AO2P) is built from these.
 from __future__ import annotations
 
 import heapq
+from itertools import repeat
 from typing import Callable, Sequence
 
 import numpy as np
@@ -23,9 +24,9 @@ from repro.crypto.keys import generate_keypair
 from repro.geometry.field import Field
 from repro.geometry.primitives import Point, Rect
 from repro.geometry.spatial_index import GridIndex
-from repro.mobility.base import MobilityModel, SnapshotInterpolator, positions_at
-from repro.net.mac import Mac80211Dcf, MacOutcome
-from repro.net.neighbor_table import NeighborEntry
+from repro.mobility.base import MobilityModel, SnapshotInterpolator
+from repro.net.mac import _BATCH_MIN, Mac80211Dcf, MacOutcome
+from repro.net.neighbor_table import NeighborEntry, NeighborTable
 from repro.net.node import Node
 from repro.net.packet import Packet, PacketKind
 from repro.net.radio import RadioModel
@@ -130,6 +131,9 @@ class Network:
         # is a second (N, 2) buffer the next refresh interpolates into,
         # so old and new positions can be diffed without allocating.
         self._snapshot_time: float = -1.0
+        # Per-node long-term public keys (keypairs never rotate), built
+        # lazily for the hello round's row construction.
+        self._publics: list | None = None
         self._snapshot_positions: np.ndarray | None = None
         self._snapshot_scratch: np.ndarray | None = None
         self._snapshot_index: GridIndex | None = None
@@ -158,6 +162,11 @@ class Network:
         # Active-node mask, invalidated by node fail()/restore() hooks
         # so neighbor queries need not re-check every hit's flag.
         self._active_mask: np.ndarray | None = None
+        # (mask, tx_ids, tx_list) of the last hello round, keyed by the
+        # mask's identity; see _emit_hello_round.
+        self._hello_tx_cache: tuple | None = None
+        # Reused all-population buffer for hello-round interpolation.
+        self._hello_pos_buf: np.ndarray | None = None
         for node in self.nodes:
             node.on_state_change = self._on_node_state_change
 
@@ -190,6 +199,19 @@ class Network:
     def position_of(self, node_id: int) -> Point:
         """Exact position of a node at the current simulation time."""
         return self.nodes[node_id].position(self.engine.now)
+
+    def batch_positions(
+        self, t: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """All-population positions at ``t`` via the cached interpolator.
+
+        Bit-identical to ``positions_at`` over every node's mobility
+        model, but only models whose cached trajectory leg expired are
+        consulted in Python — the interpolation itself is a handful of
+        whole-array operations.  Shared by the snapshot path, hello
+        rounds, and location-service write rounds.
+        """
+        return self._interpolator(t, out=out)
 
     #: Incremental-update cutover: above this fraction of cell-crossing
     #: nodes a from-scratch rebuild is cheaper than per-node rebucketing.
@@ -313,6 +335,33 @@ class Network:
             self._in_flight, (self.engine.now + duration, origin.x, origin.y)
         )
 
+    def _local_loads_batch(self, around: Sequence[Point]) -> np.ndarray:
+        """Vectorised :meth:`_local_load` for many query points at once.
+
+        One expiry sweep (all queries share ``now``), then one pairwise
+        pass over the surviving in-flight entries — the same
+        ``dx·dx + dy·dy <= cs²`` float64 predicate as the scalar loop,
+        so every count is bit-identical.  Returns int64 counts; callers
+        convert to float exactly as ``_local_load`` does.
+        """
+        now = self.engine.now
+        in_flight = self._in_flight
+        while in_flight and in_flight[0][0] <= now:
+            heapq.heappop(in_flight)
+        k = len(around)
+        if not in_flight:
+            return np.zeros(k, dtype=np.int64)
+        qx = np.fromiter((p.x for p in around), dtype=np.float64, count=k)
+        qy = np.fromiter((p.y for p in around), dtype=np.float64, count=k)
+        flight = np.array(in_flight, dtype=np.float64)
+        dx = flight[:, 1][:, None] - qx
+        dy = flight[:, 2][:, None] - qy
+        dx *= dx
+        dy *= dy
+        dx += dy
+        cs2 = self.cs_range * self.cs_range
+        return (dx <= cs2).sum(axis=0)
+
     # ------------------------------------------------------------------
     # communication primitives
     # ------------------------------------------------------------------
@@ -349,13 +398,14 @@ class Network:
         dist = spos.distance_to(rpos)
         packet.record_visit(sender_id)
 
+        airtime = self.radio.tx_time(packet.size_bytes)
         if not receiver.active:
             # Compromised / disabled node: frames go unacknowledged.
-            outcome = MacOutcome(False, self.radio.tx_time(packet.size_bytes), 1)
+            outcome = MacOutcome(False, airtime, 1)
             reason = "dead-receiver"
         elif not self.radio.in_range(dist):
             # All retries burn airtime with no receiver in range.
-            outcome = MacOutcome(False, self.radio.tx_time(packet.size_bytes), 1)
+            outcome = MacOutcome(False, airtime, 1)
             reason = "out-of-range"
         else:
             outcome = self.mac.unicast(
@@ -366,7 +416,6 @@ class Network:
         sender.tx_count += outcome.attempts
         packet.transmissions += outcome.attempts
         self.unicast_tx += outcome.attempts
-        airtime = self.radio.tx_time(packet.size_bytes)
         self.airtime_tx_s += outcome.attempts * airtime
         if outcome.success:
             self.airtime_rx_s += airtime
@@ -435,6 +484,26 @@ class Network:
         spos = sender.position(now)
         packet.record_visit(sender_id)
         outcome = self.mac.broadcast(packet.size_bytes, self._local_load(spos))
+        return self._finish_broadcast(
+            sender_id, spos, packet, outcome, on_delivered, flow, restrict_to
+        )
+
+    def _finish_broadcast(
+        self,
+        sender_id: int,
+        spos: Point,
+        packet: Packet,
+        outcome: MacOutcome,
+        on_delivered: Callable[[Node, Packet], None] | None,
+        flow: int | None,
+        restrict_to: Sequence[int] | None,
+    ) -> list[int]:
+        """Everything after the MAC exchange of one broadcast: counters,
+        in-flight registration, listener, and the receiver fan-out —
+        shared verbatim by :meth:`local_broadcast` and the batched
+        :meth:`broadcast_fanout`."""
+        now = self.engine.now
+        sender = self.nodes[sender_id]
         sender.tx_count += outcome.attempts
         packet.transmissions += outcome.attempts
         self.broadcast_tx += outcome.attempts
@@ -481,6 +550,70 @@ class Network:
                 category=category, cancellable=False,
             )
         return receivers
+
+    def broadcast_fanout(
+        self,
+        txs: Sequence[tuple[int, Packet, int | None]],
+        on_delivered: Callable[[Node, Packet], None] | None = None,
+        restrict_to: Sequence[int] | None = None,
+    ) -> list[list[int]]:
+        """A fan-out of :meth:`local_broadcast` calls, resolved in batch.
+
+        ``txs`` is a sequence of ``(sender_id, packet, flow)`` triples
+        sharing the current instant (e.g. ALERT's holder-release storm).
+        Above the MAC's ``_BATCH_MIN`` the fan-out is priced in one
+        pass: sender loads come from a single vectorised sweep over the
+        in-flight heap plus an incremental cross-term — sender *j*'s
+        own transmission counts toward every later sender *k* within
+        carrier sense, exactly as the scalar sequence of
+        ``_local_load`` / ``_register_tx`` calls would observe — and
+        the MAC resolves all contention draws through
+        :meth:`Mac80211Dcf.broadcast_batch`'s scalar-replay chain.
+        Per-sender bookkeeping and receiver scheduling then run in the
+        same ascending order as the scalar loop, so counters, the
+        in-flight heap, engine sequence numbers, and every golden trace
+        are bit-identical (RNG streams are per-subsystem, so reordering
+        MAC draws relative to *other* streams' draws is stream-neutral).
+
+        Returns one receiver list per transmission, in ``txs`` order.
+        """
+        if len(txs) < _BATCH_MIN:
+            return [
+                self.local_broadcast(
+                    sender_id, packet, on_delivered, flow, restrict_to
+                )
+                for sender_id, packet, flow in txs
+            ]
+        now = self.engine.now
+        nodes = self.nodes
+        positions = [nodes[s].position(now) for s, _, _ in txs]
+        for sender_id, packet, _ in txs:
+            packet.record_visit(sender_id)
+        loads = self._local_loads_batch(positions)
+        # Incremental cross-term: earlier fan-out members' transmissions
+        # are in flight (their end times exceed ``now``) by the time a
+        # later member senses the channel.
+        k = len(txs)
+        px = np.fromiter((p.x for p in positions), dtype=np.float64, count=k)
+        py = np.fromiter((p.y for p in positions), dtype=np.float64, count=k)
+        dx = px[:, None] - px
+        dy = py[:, None] - py
+        dx *= dx
+        dy *= dy
+        dx += dy
+        cs2 = self.cs_range * self.cs_range
+        loads = loads + np.tril(dx <= cs2, -1).sum(axis=1)
+        outcomes = self.mac.broadcast_batch(
+            [packet.size_bytes for _, packet, _ in txs],
+            loads.astype(np.float64),
+        )
+        return [
+            self._finish_broadcast(
+                sender_id, positions[i], packet, outcomes[i],
+                on_delivered, flow, restrict_to,
+            )
+            for i, (sender_id, packet, flow) in enumerate(txs)
+        ]
 
     # ------------------------------------------------------------------
     # hello beacons
@@ -545,12 +678,23 @@ class Network:
         now = self.engine.now
         nodes = self.nodes
         active = self.active_mask()
-        tx_ids = np.flatnonzero(active)
+        # ``active_mask`` caches its array until a node flips state, so
+        # object identity means "same active set as last round" — reuse
+        # the derived id arrays, and (more importantly) keep ``tx_list``
+        # the *same object* across rounds: pending ingest slices that
+        # share one address list can be merged with cross-round dedup
+        # (see ``NeighborTable._apply_pending``).
+        cached = self._hello_tx_cache
+        if cached is not None and cached[0] is active:
+            tx_ids, tx_list = cached[1], cached[2]
+        else:
+            tx_ids = np.flatnonzero(active)
+            tx_list = tx_ids.tolist()
+            self._hello_tx_cache = (active, tx_ids, tx_list)
         n_tx = int(tx_ids.size)
         if n_tx == 0:
             return
         hello_air = self.radio.tx_time(self.hello_size_bytes)
-        tx_list = tx_ids.tolist()
         # First transmitter exactly as the scalar sequence: entry built
         # (pseudonym draw, then position draw), then the round's
         # snapshot refresh.
@@ -573,7 +717,20 @@ class Network:
             air += hello_air
         self.airtime_tx_s = air
         rest = tx_list[1:]
-        pseudonyms = [nodes[i].pseudonym_at(now) for i in rest]
+        # Inlined ``pseudonym_at`` fast path: with a 30 s lifetime and
+        # ~1 s rounds, almost no pseudonym rotates in a given round, so
+        # the common case is one validity test and a digest read;
+        # rotation falls back to the full call (same draws, same
+        # manager state as the scalar path).
+        pseudonyms = []
+        _append = pseudonyms.append
+        for i in rest:
+            mgr = nodes[i].pseudonyms
+            cur = mgr._current
+            if cur is not None and cur.valid_at(now):
+                _append(cur.digest)
+            else:
+                _append(mgr.current(now).digest)
         centers = np.empty((n_tx, 2), dtype=np.float64)
         p0 = first.position
         centers[0, 0] = p0.x
@@ -588,22 +745,36 @@ class Network:
                 centers[1:] = snap_pos[tx_ids[1:]]
             else:
                 # Snapshot still fresh from an earlier instant: batch-
-                # interpolate the transmitters at ``now`` (same models,
-                # ascending order — identical draw sequence to scalar
-                # ``position()`` calls).
-                positions_at(
-                    [nodes[i].mobility for i in rest], now, out=centers[1:]
-                )
+                # interpolate at ``now`` through the segment-cached
+                # interpolator (bit-identical to per-model
+                # ``positions_at``; stale legs extend in ascending node
+                # order, the same per-stream draw sequence the scalar
+                # loop and the next snapshot refresh would use).
+                buf = self._hello_pos_buf
+                if buf is None or buf.shape[0] != len(nodes):
+                    buf = self._hello_pos_buf = np.empty(
+                        (len(nodes), 2), dtype=np.float64
+                    )
+                self._interpolator(now, out=buf)
+                centers[1:] = buf[tx_ids[1:]]
         # Positional construction (field order: link_address, pseudonym,
-        # position, public_key, last_seen) — this loop builds every
-        # advertised row of the round.
+        # position, public_key, last_seen) builds every advertised row
+        # of the round; ``map`` keeps the per-row work (one frozen
+        # Point, one entry) inside C-level iteration.
         entries: list[NeighborEntry] = [first]
-        append = entries.append
-        for i, ps, xy in zip(rest, pseudonyms, centers[1:].tolist()):
-            append(
-                NeighborEntry(
-                    i, ps, Point(xy[0], xy[1]), nodes[i].keypair.public, now
-                )
+        if rest:
+            publics = self._publics
+            if publics is None:
+                publics = self._publics = [
+                    node.keypair.public for node in nodes
+                ]
+            entries += map(
+                NeighborEntry,
+                rest,
+                pseudonyms,
+                map(Point, centers[1:, 0].tolist(), centers[1:, 1].tolist()),
+                [publics[i] for i in rest],
+                repeat(now),
             )
         r = self.radio.range_m
         r2 = r * r
@@ -619,7 +790,6 @@ class Network:
             # the all-pairs branch, and the airtime accumulation loop
             # afterwards adds per-transmitter terms in the same
             # ascending order the chunked branch uses.
-            counts = np.zeros(n_tx, dtype=np.int64)
             # With no failed nodes (the common case) the per-group
             # active filter is an identity copy — skip it wholesale.
             all_active = bool(active.all())
@@ -637,17 +807,50 @@ class Network:
                 dx *= dx
                 dy *= dy
                 dx += dy
-                in_range = dx <= r2
-                in_range &= cand[:, None] != tx_ids[q]
-                counts[q] = in_range.sum(axis=0)
-                rl, tl = np.nonzero(in_range)
+                rl, tl = np.nonzero(dx <= r2)
                 if rl.size:
                     round_rxs.append(cand[rl])
                     round_txs.append(q[tl])
+            # Self-pairs are excluded in ONE global compare over the
+            # round's accepted pairs (each transmitter is its own
+            # candidate exactly once), and the per-transmitter receiver
+            # counts come from ONE bincount over the surviving pair
+            # list — identical counts to per-group exclusion matrices
+            # and scatters, without ~2 small-array passes per grid
+            # cell.  Pair order within a receiver differs from the
+            # ascending-transmitter order only across groups, which is
+            # unobservable: each (rx, tx) pair appears once per round
+            # and every table read sorts by address.
+            if round_rxs:
+                if len(round_rxs) == 1:
+                    rxs, txs = round_rxs[0], round_txs[0]
+                else:
+                    rxs = np.concatenate(round_rxs)
+                    txs = np.concatenate(round_txs)
+                keep = rxs != tx_ids[txs]
+                rxs = rxs[keep]
+                txs = txs[keep]
+                counts = np.bincount(txs, minlength=n_tx)
+            else:
+                rxs = txs = None
+                counts = np.zeros(n_tx, dtype=np.int64)
             air_rx = self.airtime_rx_s
             for c in counts.tolist():
                 air_rx += hello_air * c
             self.airtime_rx_s = air_rx
+            if rxs is None or rxs.size == 0:
+                return
+            if len(round_rxs) > 1:
+                # Narrow pair arrays: stable-sorting uint16 keys is ~4×
+                # faster than int64 at these sizes (and the sort-order
+                # gathers shrink with them); node ids below 65536 cast
+                # losslessly, so the permutation is identical.
+                if len(nodes) <= 0xFFFF:
+                    rxs = rxs.astype(np.uint16)
+                    txs = txs.astype(np.uint16)
+                order = np.argsort(rxs, kind="stable")
+                rxs = rxs[order]
+                txs = txs[order]
         else:
             chunk = max(1, _PAIR_CHUNK_ELEMS // max(len(nodes), 1))
             sx = snap_pos[:, 0][:, None]
@@ -680,33 +883,50 @@ class Network:
                 # entry indices so the whole round shares one index
                 # space.
                 round_txs.append(txs + s if s else txs)
-        if not round_rxs:
-            return
-        # One ingest per receiver per *round*, not per chunk: large
-        # fields split a round into many chunks, and each receiver's
-        # per-chunk slice averages only a few rows — the per-call
-        # dispatch dominates.  The stable receiver sort preserves each
-        # receiver's ascending-transmitter row order across chunks, and
-        # table content is order-independent anyway (each (rx, tx) pair
-        # appears once per round; reads sort by address).
-        if len(round_rxs) == 1:
-            rxs, txs = round_rxs[0], round_txs[0]
-        else:
-            rxs = np.concatenate(round_rxs)
-            txs = np.concatenate(round_txs)
-            order = np.argsort(rxs, kind="stable")
-            rxs = rxs[order]
-            txs = txs[order]
+            if not round_rxs:
+                return
+            # One ingest per receiver per *round*, not per chunk: large
+            # fields split a round into many chunks, and each
+            # receiver's per-chunk slice averages only a few rows — the
+            # per-call dispatch dominates.  The stable receiver sort
+            # preserves each receiver's ascending-transmitter row order
+            # across chunks, and table content is order-independent
+            # anyway (each (rx, tx) pair appears once per round; reads
+            # sort by address).
+            if len(round_rxs) == 1:
+                rxs, txs = round_rxs[0], round_txs[0]
+            else:
+                rxs = np.concatenate(round_rxs)
+                txs = np.concatenate(round_txs)
+                keys = (
+                    rxs.astype(np.uint16) if len(nodes) <= 0xFFFF else rxs
+                )
+                order = np.argsort(keys, kind="stable")
+                rxs = rxs[order]
+                txs = txs[order]
         # ``txs`` stays a numpy array: receivers that never read their
         # table before the slice is superseded never pay to materialise
         # their rows, so converting the whole round's pair list to
         # Python ints up front would mostly be wasted.
-        bounds = np.flatnonzero(np.diff(rxs)) + 1
+        starts = np.flatnonzero(np.diff(rxs)) + 1
+        ends = starts.tolist()
+        heads = rxs[[0, *ends]].tolist()
+        ends.append(len(txs))
         a = 0
-        for b in bounds.tolist() + [len(txs)]:
-            nodes[int(rxs[a])].neighbors.ingest_shared(
-                entries, txs, a, b, 0, addrs=tx_list
-            )
+        # Inlined ``NeighborTable.ingest_shared`` (one slice append per
+        # receiver, ~N of them per round): the method-call dispatch
+        # alone is a measurable share of the round at large N.  Keep
+        # the two paths in lockstep — this is the same queue append,
+        # same eager-flush bound, same cache invalidation.
+        pending_max = NeighborTable._PENDING_MAX
+        for rid, b in zip(heads, ends):
+            nt = nodes[rid].neighbors
+            pending = nt._pending
+            if len(pending) >= pending_max:
+                nt._apply_pending()
+            pending.append((entries, txs, a, b, 0, tx_list))
+            nt._sorted = None
+            nt._columns = None
             a = b
 
     def _emit_hello_round_scalar(self) -> None:

@@ -63,10 +63,10 @@ def next_hop_greedy(
 #: Neighborhood size at which the batched greedy path switches from
 #: the scalar epsilon chain to the NumPy vector pass.  Measured
 #: crossover on this kernel: the vector pass (with its column-cache
-#: build amortised over a round's decisions) wins from ~64 rows; below
+#: build amortised over a round's decisions) wins from ~36 rows; below
 #: that the scalar loop's lack of fixed per-array overhead wins.  Same
 #: adaptive-cutover idiom as ``Network._REBUCKET_FRACTION``.
-_BATCH_MIN = 64
+_BATCH_MIN = 36
 
 
 def next_hop_greedy_batched(

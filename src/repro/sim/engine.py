@@ -70,12 +70,21 @@ from repro.sim.rng import RngRegistry
 #: even considered (amortises tiny heaps away).
 _COMPACT_MIN = 64
 
-#: Calendar-lane bucket width, seconds.  Periodic timers are spaced at
-#: O(1 s) intervals (hello beacons 1 s, CBR 2 s), so one bucket holds
-#: roughly one round's worth of ticks: big enough to amortise the
-#: per-bucket sort, small enough that a bucket never aggregates a
-#: large fraction of the schedule.
+#: Default calendar-lane bucket width, seconds.  Periodic timers are
+#: spaced at O(1 s) intervals (hello beacons 1 s, CBR 2 s), so one
+#: bucket holds roughly one round's worth of ticks: big enough to
+#: amortise the per-bucket sort, small enough that a bucket never
+#: aggregates a large fraction of the schedule.  The width is *hashed
+#: to the workload* at runtime: callers of ``schedule_timer_in`` pass
+#: their nominal period and the lane re-keys itself to the dominant
+#: one whenever it is empty (see ``Engine._cal_width``) — firing order
+#: is width-independent by construction, so any width is equally
+#: correct; only the bucket occupancy changes.
 _CAL_WIDTH = 1.0
+
+#: Floor for the adaptive bucket width: a degenerate (or zero) period
+#: hint must not create one bucket per float ULP.
+_CAL_WIDTH_MIN = 1e-6
 
 
 class SimulationError(RuntimeError):
@@ -126,6 +135,11 @@ class Engine:
         self._cal_cur_key: int | None = None
         self._cal_len: int = 0
         self._cal_cancelled: int = 0
+        # Adaptive bucket width: ``schedule_timer_in`` period hints
+        # vote, and the lane re-keys to the dominant period whenever it
+        # is empty (the only moment bucket keys can change safely).
+        self._cal_width: float = _CAL_WIDTH
+        self._cal_period_votes: dict[float, int] = {}
         # Records represented by queued batch entries beyond the heap
         # slots they occupy (n - 1 per n-record batch), kept live so
         # ``pending()`` stays O(1) and exact mid-batch.
@@ -300,6 +314,7 @@ class Engine:
         fn: Callable[[], Any],
         priority: int = 0,
         category: str = "timer",
+        period: float | None = None,
     ) -> EventHandle:
         """Schedule a periodic-timer callback ``delay`` seconds from now.
 
@@ -311,6 +326,16 @@ class Engine:
         fires the globally smallest ``(time, priority, seq)`` across
         both structures, so the firing order is identical to
         :meth:`schedule_in` by construction.  Always cancellable.
+
+        ``period`` optionally names the caller's nominal tick interval
+        (:class:`~repro.sim.process.PeriodicTask` passes its own).  The
+        hints vote on the lane's bucket width: whenever the lane is
+        empty — the only moment existing bucket keys cannot be
+        invalidated — the width re-keys to the most-voted period, so a
+        workload ticking every 50 ms gets 50 ms buckets instead of
+        piling 20 rounds into each 1 s one.  Width never affects firing
+        order (the parity suite runs the lane against the plain heap),
+        only bucket occupancy.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
@@ -323,6 +348,11 @@ class Engine:
             ev = Event(time=time, priority=priority, seq=seq, fn=fn)
             heapq.heappush(self._heap, (time, priority, seq, fn, category, ev))
             return EventHandle(ev, self)
+        if period is not None and period > 0.0 and isfinite(period):
+            votes = self._cal_period_votes
+            votes[period] = votes.get(period, 0) + 1
+            if self._cal_len == 0:
+                self._cal_rekey()
         ev = Event(
             time=time, priority=priority, seq=seq, fn=fn, lane=LANE_TIMER
         )
@@ -332,10 +362,35 @@ class Engine:
     # ------------------------------------------------------------------
     # calendar-lane internals
     # ------------------------------------------------------------------
+    def _cal_rekey(self) -> None:
+        """Re-key the (empty) calendar lane to the dominant period.
+
+        Called only while ``_cal_len == 0``: every pushed entry has
+        been consumed, so no bucket key computed under the old width
+        survives.  Ties break toward the *smaller* period (finer
+        buckets only cost a few more dict entries; coarser ones
+        aggregate rounds), and the width is floored so a degenerate
+        hint cannot shatter the lane into per-ULP buckets.
+        """
+        votes = self._cal_period_votes
+        if not votes:
+            return
+        width = max(
+            min(votes.items(), key=lambda kv: (-kv[1], kv[0]))[0],
+            _CAL_WIDTH_MIN,
+        )
+        if width != self._cal_width:
+            self._cal_width = width
+            # The promoted run is exhausted (len == 0); drop its stale
+            # key so no new push compares against an old-width key.
+            self._cal_cur = []
+            self._cal_cur_i = 0
+            self._cal_cur_key = None
+
     def _cal_push(self, entry: tuple) -> None:
         """File a timer entry into its calendar bucket."""
         self._cal_len += 1
-        key = int(entry[0] / _CAL_WIDTH)
+        key = int(entry[0] / self._cal_width)
         cur_key = self._cal_cur_key
         if cur_key is not None:
             if key == cur_key:

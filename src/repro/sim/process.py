@@ -109,8 +109,11 @@ class PeriodicTask:
         self._stopped = False
         self.ticks = 0
         first = interval if start_offset is None else start_offset
+        # The period hint lets the calendar lane hash its bucket width
+        # to the dominant tick interval (see ``schedule_timer_in``).
         self._handle = engine.schedule_timer_in(
-            self._displace(first), self._tick, category=category
+            self._displace(first), self._tick, category=category,
+            period=interval,
         )
 
     @property
@@ -147,7 +150,7 @@ class PeriodicTask:
         if not self._stopped:
             self._handle = self._engine.schedule_timer_in(
                 self._displace(self._interval), self._tick,
-                category=self._category,
+                category=self._category, period=self._interval,
             )
 
     def stop(self) -> None:

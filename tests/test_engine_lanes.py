@@ -274,6 +274,54 @@ class TestCalendarLane:
         assert log == [1.0, 2.0, 3.0, 4.0]
 
 
+class TestAdaptiveBucketWidth:
+    """The calendar lane re-keys its bucket width to the dominant
+    registered period — only while empty, so no existing key can be
+    invalidated.  Firing order is width-independent by construction
+    (the parity suite below pins it); these tests pin the width
+    mechanics themselves."""
+
+    def test_width_adapts_to_first_registered_period(self):
+        eng = Engine(seed=1, timer_lane=True)
+        assert eng._cal_width == 1.0
+        PeriodicTask(eng, 0.25, lambda: None)
+        assert eng._cal_width == 0.25
+
+    def test_no_rekey_while_lane_occupied(self):
+        eng = Engine(seed=1, timer_lane=True)
+        PeriodicTask(eng, 0.25, lambda: None)
+        # The first task's pending tick occupies the lane: a second
+        # period may vote but must not re-key under live entries.
+        PeriodicTask(eng, 0.5, lambda: None)
+        assert eng._cal_width == 0.25
+        assert eng._cal_period_votes == {0.25: 1, 0.5: 1}
+
+    def test_rekey_to_majority_once_lane_drains(self):
+        eng = Engine(seed=1, timer_lane=True)
+        fast = PeriodicTask(eng, 0.25, lambda: None)
+        slow_a = PeriodicTask(eng, 0.5, lambda: None)
+        slow_b = PeriodicTask(eng, 0.5, lambda: None, start_offset=0.3)
+        eng.run(until=2.0)
+        for task in (fast, slow_a, slow_b):
+            task.stop()
+        # Reschedules during the run voted 0.5 into the majority; the
+        # next registration on the drained lane re-keys to it.
+        eng.run(until=5.0)
+        PeriodicTask(eng, 0.5, lambda: None)
+        assert eng._cal_width == 0.5
+
+    def test_width_floor_defangs_degenerate_periods(self):
+        eng = Engine(seed=1, timer_lane=True)
+        PeriodicTask(eng, 1e-9, lambda: None)
+        assert eng._cal_width == 1e-6
+
+    def test_heap_engine_collects_no_votes(self):
+        eng = Engine(seed=1, timer_lane=False)
+        PeriodicTask(eng, 0.25, lambda: None)
+        assert eng._cal_period_votes == {}
+        assert eng._cal_width == 1.0
+
+
 # --------------------------------------------------------------------------
 # Hypothesis: lane parity under arbitrary periodic schedules
 # --------------------------------------------------------------------------
@@ -329,6 +377,26 @@ class TestLaneParity:
         until=st.floats(min_value=0.5, max_value=12.0),
     )
     def test_calendar_and_heap_fire_identically(self, specs, until):
+        assert _drive(True, specs, until) == _drive(False, specs, until)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        period=st.floats(min_value=0.01, max_value=2.5),
+        n_tasks=st.integers(min_value=1, max_value=5),
+        offsets=st.lists(
+            st.floats(min_value=0.0, max_value=1.5), min_size=5, max_size=5
+        ),
+        until=st.floats(min_value=0.5, max_value=10.0),
+    )
+    def test_non_unit_dominant_period_parity(
+        self, period, n_tasks, offsets, until
+    ):
+        """A non-1 s dominant period re-keys the bucket width (every
+        vote agrees, and the lane starts empty), and firing stays
+        identical to the heap — width only ever changes occupancy."""
+        specs = [
+            (period, offsets[k], False, -1, None) for k in range(n_tasks)
+        ]
         assert _drive(True, specs, until) == _drive(False, specs, until)
 
     @settings(max_examples=40, deadline=None)
